@@ -1,0 +1,29 @@
+"""Shared helpers and scale constants for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scale of the benchmark run.  These values give a clearly-learning model in
+#: a few minutes of CPU time; the paper-scale configuration is
+#: ``DiffPatternConfig.paper()`` and is documented in EXPERIMENTS.md.
+TRAIN_ITERATIONS = 900
+TRAIN_PATTERNS = 256
+DIFFUSION_STEPS = 32
+NUM_GENERATED = 24
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a benchmark artefact under ``benchmarks/results`` and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path

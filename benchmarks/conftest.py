@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures at laptop scale: a
+single diffusion model is trained once per benchmark session (a couple of
+minutes on CPU) and reused by every experiment, mirroring how the paper uses
+one trained model for its whole evaluation section.
+
+Every benchmark writes its reproduction artefact (the table rows / figure
+data) to ``benchmarks/results/`` so the numbers can be inspected after the
+run, independent of pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import (
+    DIFFUSION_STEPS,
+    NUM_GENERATED,
+    TRAIN_ITERATIONS,
+    TRAIN_PATTERNS,
+)
+
+from repro.data import LayoutPatternDataset
+from repro.diffusion import DiffusionConfig
+from repro.pipeline import DiffPatternConfig, DiffPatternPipeline
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> DiffPatternConfig:
+    """Laptop-scale DiffPattern configuration used by every benchmark."""
+    config = DiffPatternConfig.tiny()
+    config.diffusion = DiffusionConfig(num_steps=DIFFUSION_STEPS, lambda_ce=0.05)
+    config.train_iterations = TRAIN_ITERATIONS
+    return config
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_config) -> LayoutPatternDataset:
+    """The synthetic pattern library shared by all methods."""
+    return LayoutPatternDataset.synthesize(TRAIN_PATTERNS, bench_config.dataset, rng=0)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(bench_config, bench_dataset) -> DiffPatternPipeline:
+    """A DiffPattern pipeline trained once and reused by every benchmark."""
+    pipeline = DiffPatternPipeline(bench_config)
+    pipeline.prepare_data(dataset=bench_dataset)
+    pipeline.train(iterations=TRAIN_ITERATIONS, rng=0)
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def generated_topologies(trained_pipeline) -> np.ndarray:
+    """One shared batch of generated topologies."""
+    return trained_pipeline.generate_topologies(NUM_GENERATED, rng=0)

@@ -1,0 +1,72 @@
+"""Scenario: design rules change — regenerate a legal library without retraining.
+
+Section IV-C highlights DiffPattern's key operational advantage: topology
+generation and legalisation are decoupled, so when the foundry updates the
+design rules the existing topology pool can simply be re-legalised under the
+new rules; no new model, no new training run.
+
+The example takes one topology pool and legalises it under three rule sets
+(the Fig. 8 scenarios): the normal rules, a larger minimum spacing and a
+smaller maximum polygon area, then shows how legality under the *new* rules
+compares to naively reusing the old geometries.
+
+Usage::
+
+    python examples/design_rule_migration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import DatasetConfig, LayoutPatternDataset
+from repro.drc import DesignRuleChecker
+from repro.legalization import (
+    LARGER_SPACE_RULES,
+    NORMAL_RULES,
+    SMALLER_AREA_RULES,
+    Legalizer,
+)
+
+
+def main() -> int:
+    dataset = LayoutPatternDataset.synthesize(
+        64, DatasetConfig(matrix_size=16, channels=4, rules=NORMAL_RULES), rng=0
+    )
+    topologies = list(dataset.topology_matrices("all"))
+    old_patterns = dataset.real_patterns("all")
+
+    scenarios = [
+        ("normal rules", NORMAL_RULES),
+        ("larger space_min", LARGER_SPACE_RULES),
+        ("smaller area_max", SMALLER_AREA_RULES),
+    ]
+
+    header = f"{'rule set':<20}{'reused old geometry':>22}{'re-legalised':>15}{'solver ok':>11}"
+    print(header)
+    print("-" * len(header))
+    for name, rules in scenarios:
+        checker = DesignRuleChecker(rules)
+        # Naive migration: keep the old geometric vectors and hope they pass.
+        reused_legality = checker.legality_rate(old_patterns)
+        # DiffPattern migration: re-run the white-box legaliser under the new rules.
+        legalizer = Legalizer(rules)
+        migrated = legalizer.legal_patterns(topologies, num_solutions=1, rng=0)
+        migrated_legality = checker.legality_rate(migrated) if migrated else 0.0
+        print(
+            f"{name:<20}{reused_legality:>21.1%}{migrated_legality:>15.1%}"
+            f"{legalizer.stats.success_rate:>11.1%}"
+        )
+
+    print(
+        "\nEvery topology that the solver can satisfy under the new rules yields a"
+        "\nDRC-clean pattern, without touching the generative model -- the Fig. 8 claim."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Quickstart: train DiffPattern at laptop scale and generate legal patterns.
+
+Runs the full framework end to end in a couple of minutes on CPU:
+
+1. synthesise a DRC-clean training library (the ICCAD-map substitute),
+2. train the discrete diffusion model on deep-squish topology tensors,
+3. sample fresh topologies, pre-filter them,
+4. assign legal geometric vectors with the white-box solver,
+5. report legality / diversity and draw one generated pattern as ASCII art.
+
+Usage::
+
+    python examples/quickstart.py [--iterations 600] [--generate 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.diffusion import DiffusionConfig
+from repro.pipeline import DiffPatternConfig, DiffPatternPipeline, render_pattern
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=600, help="training iterations")
+    parser.add_argument("--generate", type=int, default=16, help="topologies to sample")
+    parser.add_argument("--training-patterns", type=int, default=192)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = DiffPatternConfig.tiny()
+    config.diffusion = DiffusionConfig(num_steps=32, lambda_ce=0.05)
+    pipeline = DiffPatternPipeline(config)
+
+    print("[1/4] synthesising the training library ...")
+    dataset = pipeline.prepare_data(args.training_patterns, rng=args.seed)
+    print(f"      {len(dataset)} patterns, tensor shape "
+          f"{dataset.topology_tensors('train').shape[1:]}")
+
+    print(f"[2/4] training the discrete diffusion model ({args.iterations} iterations) ...")
+    start = time.perf_counter()
+    history = pipeline.train(iterations=args.iterations, rng=args.seed)
+    print(f"      done in {time.perf_counter() - start:.1f}s, "
+          f"final loss {history[-1]['loss']:.4f}")
+
+    print(f"[3/4] sampling {args.generate} topologies ...")
+    topologies = pipeline.generate_topologies(args.generate, rng=args.seed)
+
+    print("[4/4] legal pattern assessment (DiffPattern-S) ...")
+    result = pipeline.legalize(topologies, num_solutions=1, rng=args.seed)
+    print(f"      pre-filter reject rate : {result.prefilter_reject_rate:.1%}")
+    print(f"      unsolved topologies    : {result.unsolved}")
+    print(f"      legal patterns         : {result.num_patterns}")
+    print(f"      legality (DRC)         : {result.legality:.1%}")
+    print(f"      pattern diversity H    : {result.pattern_diversity:.4f}")
+
+    if result.patterns:
+        print("\none generated legal pattern (ASCII rendering):")
+        print(render_pattern(result.patterns[0], width=48))
+    else:
+        print("\nno topology survived at this training budget -- increase --iterations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Tour of the (deep) squish pattern representation.
+
+Walks through the data representations the framework is built on:
+
+* a rectilinear layout clip and its scan lines,
+* the lossless squish encoding (topology matrix + delta vectors),
+* fixed-size padding for neural processing,
+* the Deep Squish fold into a multi-channel topology tensor,
+* the naive bit-packing alternative and why its state space explodes,
+* the complexity metric (cx, cy) behind the diversity score.
+
+Usage::
+
+    python examples/squish_representation_tour.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.geometry import Layout, Rect, RectilinearPolygon
+from repro.metrics import pattern_complexity
+from repro.pipeline import render_topology
+from repro.squish import SquishPattern, fold, naive_pack, pad_to_size, unfold
+
+
+def main() -> int:
+    window = Rect(0, 0, 2048, 2048)
+    layout = Layout(
+        window,
+        [
+            RectilinearPolygon([Rect(128, 256, 512, 384)]),
+            RectilinearPolygon([Rect(896, 256, 1024, 1792)]),
+            RectilinearPolygon([Rect(1280, 640, 1920, 768), Rect(1792, 768, 1920, 1280)]),
+        ],
+    )
+    print(f"layout: {layout.num_polygons} polygons, density {layout.density:.2%}")
+
+    pattern = SquishPattern.from_layout(layout)
+    print(f"\nsquish topology matrix {pattern.topology.shape}:")
+    print(render_topology(pattern.topology))
+    print(f"delta_x = {pattern.delta_x.tolist()}")
+    print(f"delta_y = {pattern.delta_y.tolist()}")
+    assert pattern.to_layout().total_area == layout.total_area  # lossless
+
+    padded = pad_to_size(pattern, 16)
+    print(f"\npadded to {padded.topology.shape} (geometry unchanged: "
+          f"{padded.is_equivalent_to(pattern)})")
+
+    tensor = fold(padded.topology, 16)
+    print(f"deep squish tensor shape: {tensor.shape}  (16 channels, 4x4 spatial)")
+    assert np.array_equal(unfold(tensor), padded.topology)
+
+    packed = naive_pack(padded.topology, 16)
+    print(f"naive bit packing state range: 0 .. {packed.max()} "
+          f"(vs. binary states per channel in deep squish)")
+
+    cx, cy = pattern_complexity(pattern)
+    print(f"\npattern complexity (cx, cy) = ({cx}, {cy}) -- the quantity whose "
+          "distribution entropy defines library diversity (Eq. 4)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

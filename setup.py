@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (offline legacy editable installs
+via ``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

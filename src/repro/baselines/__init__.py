@@ -1,0 +1,32 @@
+"""Baseline pattern generators used for the Table I comparison."""
+
+from .base import TopologyGenerator, validate_matrices
+from .cae import CAEConfig, CAEGenerator, ConvDecoder, ConvEncoder
+from .legalgan import LegalGANConfig, LegalGANPostProcessor, LegalizedGenerator
+from .rule_based import RuleBasedGenerator
+from .transformer import (
+    LayouTransformerConfig,
+    LayouTransformerGenerator,
+    matrix_to_tokens,
+    tokens_to_matrix,
+)
+from .vcae import VCAEConfig, VCAEGenerator
+
+__all__ = [
+    "TopologyGenerator",
+    "validate_matrices",
+    "RuleBasedGenerator",
+    "CAEGenerator",
+    "CAEConfig",
+    "ConvEncoder",
+    "ConvDecoder",
+    "VCAEGenerator",
+    "VCAEConfig",
+    "LegalGANPostProcessor",
+    "LegalGANConfig",
+    "LegalizedGenerator",
+    "LayouTransformerGenerator",
+    "LayouTransformerConfig",
+    "matrix_to_tokens",
+    "tokens_to_matrix",
+]

@@ -1,0 +1,49 @@
+"""Common interface for topology generators (DiffPattern and all baselines).
+
+Every generator consumes a stack of binary topology matrices
+``(N, H, W)`` for training and produces new matrices of the same spatial
+shape.  Geometry assignment (and therefore legality) is handled outside the
+generator, which is exactly the asymmetry Table I measures: DiffPattern runs
+the white-box legaliser while the baselines inherit geometry heuristically.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class TopologyGenerator(abc.ABC):
+    """Abstract base class for all topology generators."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "generator"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        matrices: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "TopologyGenerator":
+        """Train the generator on ``(N, H, W)`` binary topology matrices."""
+
+    @abc.abstractmethod
+    def generate(
+        self,
+        count: int,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Produce ``count`` new binary topology matrices ``(count, H, W)``."""
+
+
+def validate_matrices(matrices: np.ndarray) -> np.ndarray:
+    """Validate a training stack of binary matrices and return it as uint8."""
+    arr = np.asarray(matrices)
+    if arr.ndim != 3:
+        raise ValueError(f"expected (N, H, W) matrices, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("training set is empty")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("topology matrices must be binary")
+    return arr.astype(np.uint8)

@@ -1,0 +1,74 @@
+"""Rule-based pattern generation baseline (refs. [5], [6] of the paper).
+
+Early approaches build a library of basic units, augment it with simple
+transformations (flips and rotations) and splice randomly chosen units into a
+full clip.  The resulting libraries are cheap to build but show limited
+diversity — the behaviour Table I's narrative attributes to rule-based
+methods and the reason learning-based generation took over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_rng
+from .base import TopologyGenerator, validate_matrices
+
+
+class RuleBasedGenerator(TopologyGenerator):
+    """Splices flipped/rotated quadrants of training patterns into new clips."""
+
+    name = "RuleBased"
+
+    def __init__(self, units_per_quadrant: int = 64) -> None:
+        self.units_per_quadrant = units_per_quadrant
+        self._units: "np.ndarray | None" = None
+        self._size: "int | None" = None
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, matrices: np.ndarray, rng: "int | np.random.Generator | None" = None
+    ) -> "RuleBasedGenerator":
+        """Extract quadrant-sized basic units and augment them."""
+        arr = validate_matrices(matrices)
+        gen = as_rng(rng)
+        size = arr.shape[1]
+        if arr.shape[1] != arr.shape[2] or size % 2:
+            raise ValueError("rule-based generator expects square matrices of even side")
+        half = size // 2
+        quadrants = []
+        for matrix in arr:
+            quadrants.extend(
+                [
+                    matrix[:half, :half],
+                    matrix[:half, half:],
+                    matrix[half:, :half],
+                    matrix[half:, half:],
+                ]
+            )
+        base = np.stack(quadrants, axis=0)
+        augmented = [base, base[:, ::-1, :], base[:, :, ::-1], np.rot90(base, axes=(1, 2))]
+        units = np.concatenate(augmented, axis=0)
+        if units.shape[0] > self.units_per_quadrant:
+            keep = gen.choice(units.shape[0], size=self.units_per_quadrant, replace=False)
+            units = units[keep]
+        self._units = np.ascontiguousarray(units)
+        self._size = size
+        return self
+
+    def generate(
+        self, count: int, rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Splice four random units into each new clip."""
+        if self._units is None or self._size is None:
+            raise RuntimeError("fit must be called before generate")
+        gen = as_rng(rng)
+        half = self._size // 2
+        output = np.zeros((count, self._size, self._size), dtype=np.uint8)
+        for i in range(count):
+            picks = gen.integers(0, self._units.shape[0], size=4)
+            output[i, :half, :half] = self._units[picks[0]]
+            output[i, :half, half:] = self._units[picks[1]]
+            output[i, half:, :half] = self._units[picks[2]]
+            output[i, half:, half:] = self._units[picks[3]]
+        return output

@@ -1,0 +1,11 @@
+"""Dataset construction: synthetic layout clips and topology tensors."""
+
+from .dataset import DatasetConfig, LayoutPatternDataset
+from .synthetic import SyntheticConfig, SyntheticLayoutGenerator
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticLayoutGenerator",
+    "DatasetConfig",
+    "LayoutPatternDataset",
+]

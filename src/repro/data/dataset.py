@@ -1,0 +1,146 @@
+"""Topology-tensor dataset used to train the generators.
+
+Mirrors the paper's data pipeline: layout clips -> squish patterns -> padded
+fixed-size topology matrices -> deep-squish topology tensors, plus the pool of
+real geometric-vector pairs used to warm-start the legaliser (``Solving-E``)
+and a train/test split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..legalization.rules import DesignRules
+from ..squish import PaddingError, SquishPattern, fold, pad_to_size
+from ..utils import as_rng
+from .synthetic import SyntheticConfig, SyntheticLayoutGenerator
+
+
+@dataclass
+class DatasetConfig:
+    """Shape and split options of the topology dataset.
+
+    ``matrix_size`` is the padded topology-matrix side (32*sqrt(16)=128 in the
+    paper: a 16x32x32 tensor).  Here the default is a laptop-scale 16x8x8
+    tensor (matrix 32x32, 16 channels); the paper-scale values remain valid
+    configuration choices.
+    """
+
+    matrix_size: int = 32
+    channels: int = 16
+    test_fraction: float = 0.2
+    rules: DesignRules = DesignRules()
+
+    def __post_init__(self) -> None:
+        if self.matrix_size <= 0:
+            raise ValueError("matrix_size must be positive")
+        side = math.isqrt(self.channels)
+        if side * side != self.channels:
+            raise ValueError("channels must be a perfect square")
+        if self.matrix_size % side:
+            raise ValueError("matrix_size must be divisible by sqrt(channels)")
+        if not 0.0 <= self.test_fraction < 1.0:
+            raise ValueError("test_fraction must lie in [0, 1)")
+
+    @property
+    def tensor_size(self) -> int:
+        """Spatial side M of the folded topology tensor."""
+        return self.matrix_size // math.isqrt(self.channels)
+
+
+@dataclass
+class LayoutPatternDataset:
+    """Container of processed patterns ready for model training."""
+
+    config: DatasetConfig
+    patterns: list[SquishPattern] = field(default_factory=list)
+    padded: list[SquishPattern] = field(default_factory=list)
+    train_indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    test_indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    skipped: int = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_patterns(
+        cls,
+        patterns: list[SquishPattern],
+        config: "DatasetConfig | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "LayoutPatternDataset":
+        """Pad raw patterns to the configured matrix size and split them.
+
+        Patterns that cannot be losslessly extended to the target size (more
+        scan lines than the matrix has cells) are skipped and counted.
+        """
+        cfg = config if config is not None else DatasetConfig()
+        gen = as_rng(rng)
+        dataset = cls(config=cfg)
+        for pattern in patterns:
+            try:
+                dataset.padded.append(pad_to_size(pattern, cfg.matrix_size))
+            except PaddingError:
+                dataset.skipped += 1
+                continue
+            dataset.patterns.append(pattern)
+        count = len(dataset.padded)
+        order = gen.permutation(count)
+        test_count = int(round(count * cfg.test_fraction))
+        dataset.test_indices = np.sort(order[:test_count])
+        dataset.train_indices = np.sort(order[test_count:])
+        return dataset
+
+    @classmethod
+    def synthesize(
+        cls,
+        count: int,
+        config: "DatasetConfig | None" = None,
+        synthetic_config: "SyntheticConfig | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "LayoutPatternDataset":
+        """End-to-end: run the synthetic generator then build the dataset."""
+        cfg = config if config is not None else DatasetConfig()
+        gen = as_rng(rng)
+        syn_cfg = synthetic_config if synthetic_config is not None else SyntheticConfig(rules=cfg.rules)
+        generator = SyntheticLayoutGenerator(syn_cfg)
+        patterns = generator.generate_library(count, gen)
+        return cls.from_patterns(patterns, cfg, gen)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.padded)
+
+    def _select(self, split: str) -> np.ndarray:
+        if split == "train":
+            return self.train_indices
+        if split == "test":
+            return self.test_indices
+        if split == "all":
+            return np.arange(len(self.padded))
+        raise ValueError(f"unknown split {split!r} (use 'train', 'test' or 'all')")
+
+    def topology_matrices(self, split: str = "train") -> np.ndarray:
+        """Padded binary matrices, shape ``(N, matrix_size, matrix_size)``."""
+        indices = self._select(split)
+        return np.stack([self.padded[i].topology for i in indices], axis=0)
+
+    def topology_tensors(self, split: str = "train") -> np.ndarray:
+        """Deep-squish folded tensors, shape ``(N, C, M, M)`` with int entries."""
+        matrices = self.topology_matrices(split)
+        return np.stack([fold(m, self.config.channels) for m in matrices], axis=0).astype(np.int64)
+
+    def reference_geometries(self, split: str = "train") -> list[tuple[np.ndarray, np.ndarray]]:
+        """(delta_x, delta_y) pairs of the padded patterns (Solving-E pool)."""
+        indices = self._select(split)
+        return [(self.padded[i].delta_x.copy(), self.padded[i].delta_y.copy()) for i in indices]
+
+    def real_patterns(self, split: str = "all") -> list[SquishPattern]:
+        """The original (unpadded) squish patterns of a split."""
+        indices = self._select(split)
+        return [self.patterns[i] for i in indices]

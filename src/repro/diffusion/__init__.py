@@ -1,0 +1,30 @@
+"""Discrete (and continuous-ablation) diffusion models for topology tensors."""
+
+from .d3pm import DiffusionConfig, DiscreteDiffusion
+from .gaussian import (
+    GaussianDiffusionConfig,
+    GaussianTopologyDiffusion,
+    gaussian_unet_config,
+)
+from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
+from .transition import (
+    DiscreteTransitionModel,
+    binary_flip_probability,
+    one_hot,
+    sample_categorical,
+)
+
+__all__ = [
+    "NoiseSchedule",
+    "linear_schedule",
+    "cosine_schedule",
+    "DiscreteTransitionModel",
+    "sample_categorical",
+    "one_hot",
+    "binary_flip_probability",
+    "DiffusionConfig",
+    "DiscreteDiffusion",
+    "GaussianDiffusionConfig",
+    "GaussianTopologyDiffusion",
+    "gaussian_unet_config",
+]

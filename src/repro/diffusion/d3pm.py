@@ -1,0 +1,262 @@
+"""Discrete denoising diffusion for topology tensors (Section III-C).
+
+:class:`DiscreteDiffusion` couples a U-Net ``x_0``-posterior predictor with a
+:class:`~repro.diffusion.transition.DiscreteTransitionModel` and implements
+
+* the hybrid training loss of Eq. (9):
+  ``KL(q(x_{k-1}|x_k,x_0) || p_θ(x_{k-1}|x_k)) − λ log p_θ(x_0 | x_k)``,
+* ancestral sampling (Eq. 13) from the uniform stationary distribution down
+  to a fresh binary topology tensor.
+
+The state arrays handled here are integer tensors of shape ``(N, C, M, M)``
+where ``C`` is the deep-squish channel count and every entry is in
+``{0, .., S-1}`` (``S = 2`` for layout topologies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Adam, Tensor, UNet, UNetConfig, clip_grad_norm
+from ..nn import functional as F
+from ..utils import as_rng
+from .schedule import NoiseSchedule, linear_schedule
+from .transition import DiscreteTransitionModel, one_hot, sample_categorical
+
+
+@dataclass
+class DiffusionConfig:
+    """Hyper-parameters of the discrete diffusion generator.
+
+    The paper's values are ``num_steps=1000``, ``beta_start=0.01``,
+    ``beta_end=0.5``, ``lambda_ce=0.001``, learning rate ``2e-4``, gradient
+    clip ``1.0``.  Tests and laptop runs shrink ``num_steps`` and the U-Net.
+    """
+
+    num_steps: int = 1000
+    beta_start: float = 0.01
+    beta_end: float = 0.5
+    lambda_ce: float = 0.001
+    learning_rate: float = 2e-4
+    grad_clip: float = 1.0
+    num_states: int = 2
+    transition_kind: str = "binary"
+
+
+class DiscreteDiffusion:
+    """Discrete diffusion generator over ``(C, M, M)`` topology tensors."""
+
+    def __init__(
+        self,
+        model: UNet,
+        config: "DiffusionConfig | None" = None,
+        schedule: "NoiseSchedule | None" = None,
+    ) -> None:
+        self.config = config if config is not None else DiffusionConfig()
+        self.model = model
+        if schedule is None:
+            schedule = linear_schedule(
+                self.config.num_steps, self.config.beta_start, self.config.beta_end
+            )
+        if schedule.num_steps != self.config.num_steps:
+            raise ValueError(
+                f"schedule has {schedule.num_steps} steps but config asks for "
+                f"{self.config.num_steps}"
+            )
+        self.transition = DiscreteTransitionModel(
+            schedule, num_states=self.config.num_states, kind=self.config.transition_kind
+        )
+        unet_cfg: UNetConfig = model.config
+        if unet_cfg.num_classes != self.config.num_states:
+            raise ValueError(
+                "UNet num_classes must equal the diffusion state count "
+                f"({unet_cfg.num_classes} != {self.config.num_states})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # model wrappers
+    # ------------------------------------------------------------------ #
+    def _model_input(self, xk: np.ndarray) -> Tensor:
+        """One-hot encode ``x_k`` and flatten the state axis into channels."""
+        batch, channels, height, width = xk.shape
+        encoded = one_hot(xk, self.config.num_states)  # (N, C, M, M, S)
+        encoded = np.moveaxis(encoded, -1, 2)  # (N, C, S, M, M)
+        flat = encoded.reshape(batch, channels * self.config.num_states, height, width)
+        return Tensor(flat)
+
+    def predict_x0_logits(self, xk: np.ndarray, k: "int | np.ndarray") -> Tensor:
+        """Network forward pass: logits of ``p_θ(x_0 | x_k)``.
+
+        Returns a tensor of shape ``(N, C, S, M, M)``.
+        """
+        timesteps = np.full(xk.shape[0], k, dtype=np.int64) if np.isscalar(k) else np.asarray(k)
+        return self.model(self._model_input(xk), timesteps)
+
+    def predict_x0_probs(self, xk: np.ndarray, k: "int | np.ndarray") -> np.ndarray:
+        """Softmax of :meth:`predict_x0_logits` as a plain array."""
+        logits = self.predict_x0_logits(xk, k)
+        return F.softmax(logits, axis=2).numpy()
+
+    # ------------------------------------------------------------------ #
+    # training loss (Eq. 9)
+    # ------------------------------------------------------------------ #
+    def loss(
+        self,
+        x0: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+        k: "int | None" = None,
+    ) -> tuple[Tensor, dict[str, float]]:
+        """Hybrid loss on a batch of clean topology tensors ``x0``.
+
+        Parameters
+        ----------
+        x0:
+            Integer array of shape ``(N, C, M, M)``.
+        rng:
+            Randomness for the timestep and the forward corruption.
+        k:
+            Optional fixed timestep (used by tests); otherwise sampled
+            uniformly from ``[1, K]`` per batch.
+        """
+        gen = as_rng(rng)
+        x0 = np.asarray(x0, dtype=np.int64)
+        if x0.ndim != 4:
+            raise ValueError(f"x0 must have shape (N, C, M, M), got {x0.shape}")
+        step = int(gen.integers(1, self.config.num_steps + 1)) if k is None else int(k)
+
+        xk = self.transition.sample_xk(x0, step, gen)
+        logits = self.predict_x0_logits(xk, step)  # (N, C, S, M, M)
+        # Move the state axis last so it lines up with the posterior arrays.
+        logits_last = logits.transpose(0, 1, 3, 4, 2)  # (N, C, M, M, S)
+        probs_x0 = F.softmax(logits_last, axis=-1)
+
+        # p_theta(x_{k-1} | x_k) = sum_i q(x_{k-1} | x_k, x_0=i) p_theta(x_0=i | x_k)
+        posterior_all = self.transition.posterior_probs_all_x0(xk, step)  # (..., S_x0, S_prev)
+        predicted_prev = None
+        for clean_state in range(self.config.num_states):
+            weight = probs_x0[..., clean_state : clean_state + 1]
+            term = weight * Tensor(posterior_all[..., clean_state, :])
+            predicted_prev = term if predicted_prev is None else predicted_prev + term
+
+        target_prev = self.transition.posterior_probs(xk, x0, step)
+        eps = 1e-10
+        log_predicted = (predicted_prev + eps).log()
+        entropy = float(
+            (target_prev * np.log(np.clip(target_prev, eps, 1.0))).sum(axis=-1).mean()
+        )
+        kl_term = -(Tensor(target_prev.astype(np.float32)) * log_predicted).sum(axis=-1).mean() + entropy
+
+        ce_targets = one_hot(x0, self.config.num_states)
+        ce_term = F.cross_entropy_with_logits(logits_last, ce_targets, axis=-1)
+
+        total = kl_term + self.config.lambda_ce * ce_term
+        metrics = {
+            "loss": float(total.item()),
+            "kl": float(kl_term.item()),
+            "ce": float(ce_term.item()),
+            "step": float(step),
+        }
+        return total, metrics
+
+    # ------------------------------------------------------------------ #
+    # training loop
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        dataset: np.ndarray,
+        iterations: int,
+        batch_size: int = 16,
+        rng: "int | np.random.Generator | None" = None,
+        optimizer: "Adam | None" = None,
+        log_every: int = 0,
+        callback=None,
+    ) -> list[dict[str, float]]:
+        """Train the backbone on a dataset of clean topology tensors.
+
+        ``dataset`` has shape ``(num_samples, C, M, M)``.  Returns the list of
+        per-iteration metric dictionaries.
+        """
+        gen = as_rng(rng)
+        data = np.asarray(dataset, dtype=np.int64)
+        if data.ndim != 4:
+            raise ValueError(f"dataset must have shape (N, C, M, M), got {data.shape}")
+        if optimizer is None:
+            optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        history: list[dict[str, float]] = []
+        self.model.train()
+        for iteration in range(iterations):
+            indices = gen.integers(0, data.shape[0], size=min(batch_size, data.shape[0]))
+            batch = data[indices]
+            loss, metrics = self.loss(batch, rng=gen)
+            optimizer.zero_grad()
+            loss.backward()
+            grad_norm = clip_grad_norm(optimizer.parameters, self.config.grad_clip)
+            optimizer.step()
+            metrics["grad_norm"] = grad_norm
+            metrics["iteration"] = float(iteration)
+            history.append(metrics)
+            if log_every and iteration % log_every == 0:
+                print(f"[diffusion] iter={iteration} loss={metrics['loss']:.4f}")
+            if callback is not None:
+                callback(iteration, metrics)
+        return history
+
+    # ------------------------------------------------------------------ #
+    # sampling (Eq. 13)
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        num_samples: int,
+        rng: "int | np.random.Generator | None" = None,
+        return_chain: bool = False,
+        chain_stride: int = 1,
+        greedy_final: bool = True,
+    ) -> "np.ndarray | tuple[np.ndarray, list[np.ndarray]]":
+        """Generate fresh topology tensors by reverse diffusion.
+
+        Returns an integer array of shape ``(num_samples, C, M, M)``; with
+        ``return_chain=True`` also the list of intermediate states (every
+        ``chain_stride`` steps, ending with the final sample) for Fig. 6.
+        ``greedy_final`` takes the mode of ``p_θ(x_0 | x_1)`` at the last step
+        instead of sampling it, which removes residual salt-and-pepper noise
+        (standard practice for discrete diffusion samplers).
+        """
+        gen = as_rng(rng)
+        cfg = self.model.config
+        shape = (num_samples, cfg.in_channels, cfg.image_size, cfg.image_size)
+        self.model.eval()
+        xk = self.transition.sample_stationary(shape, gen)
+        chain: list[np.ndarray] = [xk.copy()] if return_chain else []
+        for step in range(self.config.num_steps, 0, -1):
+            probs_x0 = self.predict_x0_probs(xk, step)  # (N, C, S, M, M)
+            probs_x0 = np.moveaxis(probs_x0, 2, -1)  # (N, C, M, M, S)
+            if step == 1:
+                # p_theta(x_0 | x_1): emit the clean tensor directly.
+                if greedy_final:
+                    xk = probs_x0.argmax(axis=-1).astype(np.int64)
+                    if return_chain:
+                        chain.append(xk.copy())
+                    break
+                probs_prev = probs_x0
+            else:
+                posterior_all = self.transition.posterior_probs_all_x0(xk, step)
+                probs_prev = np.einsum("...i,...ij->...j", probs_x0, posterior_all)
+            xk = sample_categorical(probs_prev, gen)
+            if return_chain and ((self.config.num_steps - step) % chain_stride == 0 or step == 1):
+                chain.append(xk.copy())
+        self.model.train()
+        if return_chain:
+            return xk, chain
+        return xk
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_unet_config(
+        cls, unet_config: UNetConfig, diffusion_config: "DiffusionConfig | None" = None
+    ) -> "DiscreteDiffusion":
+        """Build a generator with a fresh U-Net from configuration objects."""
+        return cls(UNet(unet_config), diffusion_config)

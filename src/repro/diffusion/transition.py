@@ -1,0 +1,218 @@
+"""Discrete-state transition structure of the forward diffusion process.
+
+Implements the doubly stochastic transition matrices of Eq. (5)-(7), their
+cumulative products ``Q̄_k = Q_1 Q_2 ... Q_k``, the marginal
+``q(x_k | x_0)`` used to draw noisy samples in one shot (Eq. 10), and the
+forward posterior ``q(x_{k-1} | x_k, x_0)`` (Eq. 12) needed by the training
+loss and by the reverse sampler.
+
+Three transition families are supported:
+
+* ``"binary"``   — the paper's 2-state matrix ``[[1-β, β], [β, 1-β]]``.
+* ``"uniform"``  — D3PM uniform transition for an arbitrary state count,
+  ``Q_k = (1-β_k) I + β_k / S · 11ᵀ`` (stationary distribution uniform).
+* ``"absorbing"``— D3PM absorbing-state transition (mask state = S-1),
+  provided as an extension point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_rng
+from .schedule import NoiseSchedule
+
+
+class DiscreteTransitionModel:
+    """Transition matrices and posterior computations for a discrete chain."""
+
+    def __init__(
+        self,
+        schedule: NoiseSchedule,
+        num_states: int = 2,
+        kind: str = "binary",
+    ) -> None:
+        if num_states < 2:
+            raise ValueError("num_states must be >= 2")
+        if kind == "binary" and num_states != 2:
+            raise ValueError("the 'binary' transition requires num_states == 2")
+        if kind not in ("binary", "uniform", "absorbing"):
+            raise ValueError(f"unknown transition kind: {kind!r}")
+        self.schedule = schedule
+        self.num_states = num_states
+        self.kind = kind
+        self._q = self._build_single_step()
+        self._q_bar = self._build_cumulative(self._q)
+
+    # ------------------------------------------------------------------ #
+    # matrix construction
+    # ------------------------------------------------------------------ #
+    def _build_single_step(self) -> np.ndarray:
+        """Stack of per-step matrices ``Q_k``, shape (K, S, S), 0-indexed."""
+        betas = self.schedule.betas
+        steps = betas.shape[0]
+        size = self.num_states
+        matrices = np.zeros((steps, size, size), dtype=np.float64)
+        for idx, beta in enumerate(betas):
+            if self.kind == "binary":
+                matrices[idx] = np.array([[1.0 - beta, beta], [beta, 1.0 - beta]])
+            elif self.kind == "uniform":
+                matrices[idx] = (1.0 - beta) * np.eye(size) + beta / size
+            else:  # absorbing: mass beta moves to the last (mask) state
+                mat = (1.0 - beta) * np.eye(size)
+                mat[:, -1] += beta
+                mat[-1, -1] = 1.0
+                mat[-1, :-1] = 0.0
+                matrices[idx] = mat
+        return matrices
+
+    @staticmethod
+    def _build_cumulative(single: np.ndarray) -> np.ndarray:
+        """``Q̄_0 = I`` and ``Q̄_k = Q̄_{k-1} Q_k``, shape (K+1, S, S)."""
+        steps, size, _ = single.shape
+        cumulative = np.zeros((steps + 1, size, size), dtype=np.float64)
+        cumulative[0] = np.eye(size)
+        for idx in range(steps):
+            cumulative[idx + 1] = cumulative[idx] @ single[idx]
+        return cumulative
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_steps(self) -> int:
+        return self.schedule.num_steps
+
+    def q_matrix(self, k: int) -> np.ndarray:
+        """Single-step matrix ``Q_k`` (1-indexed)."""
+        if not 1 <= k <= self.num_steps:
+            raise IndexError(f"k={k} outside [1, {self.num_steps}]")
+        return self._q[k - 1]
+
+    def q_bar_matrix(self, k: int) -> np.ndarray:
+        """Cumulative matrix ``Q̄_k`` (``k=0`` gives the identity)."""
+        if not 0 <= k <= self.num_steps:
+            raise IndexError(f"k={k} outside [0, {self.num_steps}]")
+        return self._q_bar[k]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The distribution the forward process converges to."""
+        if self.kind in ("binary", "uniform"):
+            return np.full(self.num_states, 1.0 / self.num_states)
+        stationary = np.zeros(self.num_states)
+        stationary[-1] = 1.0
+        return stationary
+
+    # ------------------------------------------------------------------ #
+    # forward process
+    # ------------------------------------------------------------------ #
+    def q_probs(self, x0: np.ndarray, k: int) -> np.ndarray:
+        """Marginal ``q(x_k | x_0)`` (Eq. 10); shape ``x0.shape + (S,)``."""
+        x0 = self._validate_states(x0)
+        return self.q_bar_matrix(k)[x0]
+
+    def sample_xk(
+        self, x0: np.ndarray, k: int, rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Draw ``x_k ~ q(x_k | x_0)`` in a single shot."""
+        gen = as_rng(rng)
+        probs = self.q_probs(x0, k)
+        return sample_categorical(probs, gen)
+
+    def sample_stationary(
+        self, shape: tuple[int, ...], rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Draw ``x_K`` from the stationary distribution (the sampler's start)."""
+        gen = as_rng(rng)
+        probs = np.broadcast_to(self.stationary_distribution(), shape + (self.num_states,))
+        return sample_categorical(probs, gen)
+
+    # ------------------------------------------------------------------ #
+    # posteriors
+    # ------------------------------------------------------------------ #
+    def posterior_probs(self, xk: np.ndarray, x0: np.ndarray, k: int) -> np.ndarray:
+        """Forward posterior ``q(x_{k-1} | x_k, x_0)`` (Eq. 12).
+
+        Shapes: ``xk`` and ``x0`` are integer state arrays of the same shape;
+        the result has an extra trailing state axis.
+        """
+        xk = self._validate_states(xk)
+        x0 = self._validate_states(x0)
+        if xk.shape != x0.shape:
+            raise ValueError("xk and x0 must have the same shape")
+        q_k = self.q_matrix(k)
+        q_bar_prev = self.q_bar_matrix(k - 1)
+        q_bar_k = self.q_bar_matrix(k)
+        # numerator[s] = Q_k[s, xk] * Q̄_{k-1}[x0, s]
+        numerator = q_k.T[xk] * q_bar_prev[x0]
+        denominator = q_bar_k[x0, xk]
+        return numerator / denominator[..., None]
+
+    def posterior_probs_all_x0(self, xk: np.ndarray, k: int) -> np.ndarray:
+        """``q(x_{k-1} | x_k, x_0 = i)`` for every possible clean state ``i``.
+
+        Returns an array of shape ``xk.shape + (S, S)`` indexed as
+        ``[..., i, s]`` — the posterior over ``x_{k-1}=s`` assuming ``x_0=i``.
+        Used to marginalise the model's ``p_θ(x_0 | x_k)`` into
+        ``p_θ(x_{k-1} | x_k)`` (Eq. 11).
+        """
+        xk = self._validate_states(xk)
+        q_k = self.q_matrix(k)
+        q_bar_prev = self.q_bar_matrix(k - 1)
+        q_bar_k = self.q_bar_matrix(k)
+        size = self.num_states
+        likelihood = q_k.T[xk]  # shape xk.shape + (S,) over x_{k-1}
+        result = np.empty(xk.shape + (size, size), dtype=np.float64)
+        for clean_state in range(size):
+            numerator = likelihood * q_bar_prev[clean_state]
+            denominator = q_bar_k[clean_state][xk]
+            result[..., clean_state, :] = numerator / denominator[..., None]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _validate_states(self, states: np.ndarray) -> np.ndarray:
+        arr = np.asarray(states)
+        if not np.issubdtype(arr.dtype, np.integer):
+            if np.isin(arr, np.arange(self.num_states)).all():
+                arr = arr.astype(np.int64)
+            else:
+                raise ValueError("state arrays must contain integer states")
+        if (arr < 0).any() or (arr >= self.num_states).any():
+            raise ValueError(f"states must lie in [0, {self.num_states})")
+        return arr.astype(np.int64)
+
+
+def sample_categorical(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample integer states from categorical distributions over the last axis."""
+    probs = np.asarray(probs, dtype=np.float64)
+    cumulative = probs.cumsum(axis=-1)
+    cumulative /= cumulative[..., -1:]
+    uniforms = rng.random(probs.shape[:-1] + (1,))
+    return (uniforms > cumulative).sum(axis=-1).astype(np.int64)
+
+
+def one_hot(states: np.ndarray, num_states: int) -> np.ndarray:
+    """One-hot encode an integer state array; new axis is inserted at -1."""
+    arr = np.asarray(states, dtype=np.int64)
+    if (arr < 0).any() or (arr >= num_states).any():
+        raise ValueError(f"states must lie in [0, {num_states})")
+    encoded = np.zeros(arr.shape + (num_states,), dtype=np.float32)
+    np.put_along_axis(encoded, arr[..., None], 1.0, axis=-1)
+    return encoded
+
+
+def binary_flip_probability(schedule: NoiseSchedule, k: int) -> float:
+    """Closed-form cumulative flip probability for the binary chain.
+
+    For the symmetric 2-state matrix, ``Q̄_k`` is again symmetric with
+    off-diagonal ``β̄_k = ½ (1 − ∏_{i<=k} (1 − 2 β_i))`` — handy for checking
+    the matrix-product implementation and for analytic tests.
+    """
+    if not 0 <= k <= schedule.num_steps:
+        raise IndexError(f"k={k} outside [0, {schedule.num_steps}]")
+    if k == 0:
+        return 0.0
+    product = float(np.prod(1.0 - 2.0 * schedule.betas[:k]))
+    return 0.5 * (1.0 - product)

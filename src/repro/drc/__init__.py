@@ -1,0 +1,5 @@
+"""Design-rule checking (the library's KLayout substitute)."""
+
+from .checker import DesignRuleChecker, DRCReport, Violation
+
+__all__ = ["DesignRuleChecker", "DRCReport", "Violation"]

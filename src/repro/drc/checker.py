@@ -1,0 +1,158 @@
+"""Design-rule checker for rectilinear layout patterns.
+
+The paper validates legality with KLayout; this module provides an equivalent
+checker for the three rules of Fig. 3 (space, width, area) specialised to
+axis-aligned rectilinear layouts.  All checks are evaluated on the canonical
+squish grid of the layout, where they are exact:
+
+* **Width**: every maximal run of shape cells along a row (columns along a
+  column) has physical length >= ``width_min``.
+* **Space**: every maximal run of empty cells *between two shapes* along a
+  row / column has physical length >= ``space_min``; additionally,
+  corner-touching shapes (bow-ties) are reported because their diagonal
+  spacing is zero.
+* **Area**: every 4-connected polygon's area lies in ``[area_min, area_max]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import (
+    Layout,
+    component_areas,
+    has_bowtie,
+    runs_of_value,
+    validate_grid,
+)
+from ..legalization.rules import DesignRules
+from ..squish import SquishPattern, canonicalize
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single design-rule violation."""
+
+    rule: str          # "width" | "space" | "area" | "bowtie"
+    axis: str          # "x", "y" or "-" when not directional
+    location: tuple[int, int]
+    measured: float
+    required: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule} violation at {self.location} along {self.axis}: "
+            f"measured {self.measured:.1f}, required {self.required:.1f}"
+        )
+
+
+@dataclass
+class DRCReport:
+    """Result of checking one pattern."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self, rule: "str | None" = None) -> int:
+        if rule is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.rule == rule)
+
+
+class DesignRuleChecker:
+    """Checks layouts / squish patterns against a :class:`DesignRules` set."""
+
+    def __init__(self, rules: DesignRules) -> None:
+        self.rules = rules
+
+    # ------------------------------------------------------------------ #
+    def check_pattern(self, pattern: SquishPattern) -> DRCReport:
+        """Check a squish pattern (canonicalised first so runs are maximal)."""
+        canonical = canonicalize(pattern)
+        return self._check_grid(canonical.topology, canonical.delta_x, canonical.delta_y)
+
+    def check_layout(self, layout: Layout) -> DRCReport:
+        """Check a layout clip by re-squishing it onto its scan-line grid."""
+        grid, dx, dy = layout.occupancy_grid()
+        return self._check_grid(grid, dx, dy)
+
+    def is_legal(self, pattern: "SquishPattern | Layout") -> bool:
+        """Convenience wrapper returning only the verdict."""
+        if isinstance(pattern, SquishPattern):
+            return self.check_pattern(pattern).clean
+        return self.check_layout(pattern).clean
+
+    def legality_rate(self, patterns: "list[SquishPattern] | list[Layout]") -> float:
+        """Fraction of DRC-clean patterns in a library."""
+        if not patterns:
+            return 0.0
+        return sum(1 for p in patterns if self.is_legal(p)) / len(patterns)
+
+    # ------------------------------------------------------------------ #
+    def _check_grid(
+        self, grid: np.ndarray, delta_x: np.ndarray, delta_y: np.ndarray
+    ) -> DRCReport:
+        grid = validate_grid(grid)
+        dx = np.asarray(delta_x, dtype=np.int64)
+        dy = np.asarray(delta_y, dtype=np.int64)
+        report = DRCReport()
+        rules = self.rules
+
+        if has_bowtie(grid):
+            report.violations.append(
+                Violation("bowtie", "-", (0, 0), 0.0, float(rules.space_min))
+            )
+
+        # Row direction: width / space measured along x.
+        for r in range(grid.shape[0]):
+            self._check_line(grid[r], dx, "x", r, report)
+        # Column direction: width / space measured along y.
+        for c in range(grid.shape[1]):
+            self._check_line(grid[:, c], dy, "y", c, report)
+
+        # Polygon areas.
+        for index, area in enumerate(component_areas(grid, dx, dy)):
+            if area < rules.area_min:
+                report.violations.append(
+                    Violation("area", "-", (index, index), float(area), float(rules.area_min))
+                )
+            elif area > rules.area_max:
+                report.violations.append(
+                    Violation("area", "-", (index, index), float(area), float(rules.area_max))
+                )
+        return report
+
+    def _check_line(
+        self,
+        line: np.ndarray,
+        deltas: np.ndarray,
+        axis: str,
+        index: int,
+        report: DRCReport,
+    ) -> None:
+        rules = self.rules
+        ones = np.nonzero(line == 1)[0]
+        for start, end in runs_of_value(line, 1):
+            length = int(deltas[start : end + 1].sum())
+            if length < rules.width_min:
+                location = (index, start) if axis == "x" else (start, index)
+                report.violations.append(
+                    Violation("width", axis, location, float(length), float(rules.width_min))
+                )
+        if ones.size >= 2:
+            first, last = int(ones[0]), int(ones[-1])
+            for start, end in runs_of_value(line, 0):
+                if start > first and end < last:
+                    length = int(deltas[start : end + 1].sum())
+                    if length < rules.space_min:
+                        location = (index, start) if axis == "x" else (start, index)
+                        report.violations.append(
+                            Violation(
+                                "space", axis, location, float(length), float(rules.space_min)
+                            )
+                        )

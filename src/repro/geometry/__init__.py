@@ -1,0 +1,34 @@
+"""Rectilinear layout geometry substrate.
+
+Provides rectangles, rectilinear polygons, layout clips, and binary-grid
+operations (connected components, bow-tie detection, run extraction) used by
+the squish representation, DRC checker and legalisation stages.
+"""
+
+from .grid import (
+    component_areas,
+    component_cell_indices,
+    connected_components,
+    grid_to_rects,
+    has_bowtie,
+    runs_of_value,
+    validate_grid,
+)
+from .layout import Layout
+from .polygon import RectilinearPolygon, polygons_from_grid
+from .rectangle import Rect, rect_min_distance
+
+__all__ = [
+    "Rect",
+    "rect_min_distance",
+    "RectilinearPolygon",
+    "polygons_from_grid",
+    "Layout",
+    "validate_grid",
+    "connected_components",
+    "has_bowtie",
+    "runs_of_value",
+    "grid_to_rects",
+    "component_cell_indices",
+    "component_areas",
+]

@@ -1,0 +1,167 @@
+"""Operations on binary topology grids.
+
+A topology grid is a 2-D binary array where 1 marks "shape" (metal) and 0
+marks "space".  Together with the geometric vectors produced by the squish
+encoding it describes a rectilinear layout exactly.  This module provides the
+grid-level geometry primitives used throughout the library:
+
+* connected-component labelling (4-connectivity, the correct adjacency for
+  rectilinear polygons),
+* bow-tie (corner-touching) detection,
+* run-length extraction along rows/columns (the basis of width / space rules),
+* conversion from a grid plus interval lengths to rectangles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+import numpy as np
+
+from .rectangle import Rect
+
+
+def validate_grid(grid: np.ndarray) -> np.ndarray:
+    """Check that ``grid`` is a 2-D binary array and return it as ``uint8``.
+
+    Raises ``ValueError`` for wrong dimensionality or non-binary entries.
+    """
+    arr = np.asarray(grid)
+    if arr.ndim != 2:
+        raise ValueError(f"topology grid must be 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("topology grid must be non-empty")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("topology grid entries must be 0 or 1")
+    return arr.astype(np.uint8)
+
+
+def connected_components(grid: np.ndarray) -> tuple[np.ndarray, int]:
+    """Label 4-connected components of the 1-cells.
+
+    Returns ``(labels, count)`` where ``labels`` has the same shape as the
+    grid, 0 for background and ``1..count`` for each component.
+    """
+    arr = validate_grid(grid)
+    rows, cols = arr.shape
+    labels = np.zeros((rows, cols), dtype=np.int32)
+    current = 0
+    for start_r in range(rows):
+        for start_c in range(cols):
+            if arr[start_r, start_c] == 0 or labels[start_r, start_c] != 0:
+                continue
+            current += 1
+            queue: deque[tuple[int, int]] = deque([(start_r, start_c)])
+            labels[start_r, start_c] = current
+            while queue:
+                r, c = queue.popleft()
+                for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                    if 0 <= nr < rows and 0 <= nc < cols:
+                        if arr[nr, nc] == 1 and labels[nr, nc] == 0:
+                            labels[nr, nc] = current
+                            queue.append((nr, nc))
+    return labels, current
+
+
+def has_bowtie(grid: np.ndarray) -> bool:
+    """Detect corner-touching shapes (bow-ties).
+
+    A bow-tie occurs when two diagonal cells are 1 while the two
+    anti-diagonal cells of the same 2x2 window are 0.  Such a topology cannot
+    be realised by non-degenerate rectilinear polygons and is filtered out by
+    the topology pre-filter.
+    """
+    arr = validate_grid(grid)
+    a = arr[:-1, :-1]
+    b = arr[:-1, 1:]
+    c = arr[1:, :-1]
+    d = arr[1:, 1:]
+    bowtie_main = (a == 1) & (d == 1) & (b == 0) & (c == 0)
+    bowtie_anti = (b == 1) & (c == 1) & (a == 0) & (d == 0)
+    return bool((bowtie_main | bowtie_anti).any())
+
+
+def runs_of_value(line: np.ndarray, value: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, end)`` index ranges (inclusive) of consecutive cells
+    equal to ``value`` in a 1-D array."""
+    arr = np.asarray(line)
+    n = arr.shape[0]
+    i = 0
+    while i < n:
+        if arr[i] == value:
+            j = i
+            while j + 1 < n and arr[j + 1] == value:
+                j += 1
+            yield i, j
+            i = j + 1
+        else:
+            i += 1
+
+
+def grid_to_rects(
+    grid: np.ndarray,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    origin: tuple[int, int] = (0, 0),
+) -> list[Rect]:
+    """Convert a topology grid plus interval lengths to maximal-row rectangles.
+
+    ``grid[r, c]`` covers the cell whose x-extent is ``[X[c], X[c+1]]`` and
+    y-extent ``[Y[r], Y[r+1]]`` where ``X``/``Y`` are the cumulative sums of
+    ``dx``/``dy`` offset by ``origin``.  Horizontal runs of 1s within each row
+    are merged into single rectangles; vertical merging is left to the layout
+    container's polygon grouping.
+    """
+    arr = validate_grid(grid)
+    dx = np.asarray(dx, dtype=np.int64)
+    dy = np.asarray(dy, dtype=np.int64)
+    if dx.shape[0] != arr.shape[1]:
+        raise ValueError(
+            f"dx has {dx.shape[0]} entries but grid has {arr.shape[1]} columns"
+        )
+    if dy.shape[0] != arr.shape[0]:
+        raise ValueError(
+            f"dy has {dy.shape[0]} entries but grid has {arr.shape[0]} rows"
+        )
+    if (dx <= 0).any() or (dy <= 0).any():
+        raise ValueError("interval lengths must be strictly positive")
+
+    ox, oy = origin
+    xs = np.concatenate(([0], np.cumsum(dx))) + ox
+    ys = np.concatenate(([0], np.cumsum(dy))) + oy
+
+    rects: list[Rect] = []
+    for r in range(arr.shape[0]):
+        for c_start, c_end in runs_of_value(arr[r], 1):
+            rects.append(
+                Rect(
+                    int(xs[c_start]),
+                    int(ys[r]),
+                    int(xs[c_end + 1]),
+                    int(ys[r + 1]),
+                )
+            )
+    return rects
+
+
+def component_cell_indices(
+    labels: np.ndarray, component: int
+) -> list[tuple[int, int]]:
+    """Return the (row, col) cells belonging to one labelled component."""
+    rr, cc = np.nonzero(labels == component)
+    return list(zip(rr.tolist(), cc.tolist()))
+
+
+def component_areas(
+    grid: np.ndarray, dx: np.ndarray, dy: np.ndarray
+) -> list[int]:
+    """Area (nm^2) of every 4-connected polygon in the grid."""
+    labels, count = connected_components(grid)
+    dx = np.asarray(dx, dtype=np.int64)
+    dy = np.asarray(dy, dtype=np.int64)
+    cell_area = np.outer(dy, dx)
+    areas = []
+    for comp in range(1, count + 1):
+        areas.append(int(cell_area[labels == comp].sum()))
+    return areas

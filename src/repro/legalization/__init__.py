@@ -1,0 +1,39 @@
+"""White-box 2D legal pattern assessment (design rules, constraints, solver)."""
+
+from .constraints import (
+    IntervalConstraint,
+    TopologyConstraints,
+    extract_constraints,
+    polygon_area,
+)
+from .legalizer import LegalizationStats, LegalizedTopology, Legalizer
+from .rules import (
+    LARGER_SPACE_RULES,
+    NORMAL_RULES,
+    SMALLER_AREA_RULES,
+    DesignRules,
+)
+from .solver import (
+    GeometrySolution,
+    SolverOptions,
+    solve_geometry,
+    solve_topology,
+)
+
+__all__ = [
+    "DesignRules",
+    "NORMAL_RULES",
+    "LARGER_SPACE_RULES",
+    "SMALLER_AREA_RULES",
+    "IntervalConstraint",
+    "TopologyConstraints",
+    "extract_constraints",
+    "polygon_area",
+    "SolverOptions",
+    "GeometrySolution",
+    "solve_geometry",
+    "solve_topology",
+    "Legalizer",
+    "LegalizedTopology",
+    "LegalizationStats",
+]

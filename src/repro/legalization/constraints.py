@@ -1,0 +1,139 @@
+"""Constraint extraction for the 2D legal pattern assessment (Eq. 14).
+
+Given a generated binary topology matrix, this module derives the
+pattern-dependent constraint sets of the nonlinear system:
+
+* ``SetW`` — index ranges of the geometric vectors whose sum must be at least
+  ``width_min`` (one range per maximal run of 1s in every row / column),
+* ``SetS`` — index ranges whose sum must be at least ``space_min`` (one range
+  per maximal interior run of 0s between two shapes in a row / column),
+* the per-polygon cell lists used by the nonlinear area constraints
+  ``sum_{(r,c) in polygon} delta_x[c] * delta_y[r] in [area_min, area_max]``.
+
+Runs of 0s that touch the window border are *not* space constraints: the
+distance to the clip boundary is unknown (the neighbouring clip continues
+there), exactly as in the paper's formulation where only adjacent polygons
+constrain each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import connected_components, runs_of_value, validate_grid
+
+
+@dataclass(frozen=True)
+class IntervalConstraint:
+    """``sum(delta[start..end]) >= minimum`` over one geometric vector.
+
+    ``axis`` is ``"x"`` when the constraint applies to ``delta_x`` (a
+    horizontal run) and ``"y"`` for ``delta_y``.
+    """
+
+    axis: str
+    start: int
+    end: int
+    minimum: int
+    kind: str  # "width" or "space"
+
+    def indices(self) -> np.ndarray:
+        return np.arange(self.start, self.end + 1)
+
+
+@dataclass
+class TopologyConstraints:
+    """All pattern-dependent constraints extracted from one topology matrix."""
+
+    shape: tuple[int, int]
+    width_constraints: list[IntervalConstraint] = field(default_factory=list)
+    space_constraints: list[IntervalConstraint] = field(default_factory=list)
+    polygon_cells: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    @property
+    def num_polygons(self) -> int:
+        return len(self.polygon_cells)
+
+    @property
+    def all_interval_constraints(self) -> list[IntervalConstraint]:
+        return self.width_constraints + self.space_constraints
+
+
+def _interior_zero_runs(line: np.ndarray) -> list[tuple[int, int]]:
+    """Runs of 0s strictly between two 1s in a 1-D line."""
+    ones = np.nonzero(line == 1)[0]
+    if ones.size < 2:
+        return []
+    first, last = int(ones[0]), int(ones[-1])
+    runs = []
+    for start, end in runs_of_value(line, 0):
+        if start > first and end < last:
+            runs.append((start, end))
+    return runs
+
+
+def extract_constraints(
+    topology: np.ndarray, width_min: int, space_min: int
+) -> TopologyConstraints:
+    """Build the constraint sets of Eq. (14) for one topology matrix."""
+    grid = validate_grid(topology)
+    rows, cols = grid.shape
+    constraints = TopologyConstraints(shape=(rows, cols))
+
+    width_seen: set[tuple[str, int, int]] = set()
+    space_seen: set[tuple[str, int, int]] = set()
+
+    # Horizontal runs constrain delta_x.
+    for r in range(rows):
+        line = grid[r]
+        for start, end in runs_of_value(line, 1):
+            key = ("x", start, end)
+            if key not in width_seen:
+                width_seen.add(key)
+                constraints.width_constraints.append(
+                    IntervalConstraint("x", start, end, width_min, "width")
+                )
+        for start, end in _interior_zero_runs(line):
+            key = ("x", start, end)
+            if key not in space_seen:
+                space_seen.add(key)
+                constraints.space_constraints.append(
+                    IntervalConstraint("x", start, end, space_min, "space")
+                )
+
+    # Vertical runs constrain delta_y.
+    for c in range(cols):
+        line = grid[:, c]
+        for start, end in runs_of_value(line, 1):
+            key = ("y", start, end)
+            if key not in width_seen:
+                width_seen.add(key)
+                constraints.width_constraints.append(
+                    IntervalConstraint("y", start, end, width_min, "width")
+                )
+        for start, end in _interior_zero_runs(line):
+            key = ("y", start, end)
+            if key not in space_seen:
+                space_seen.add(key)
+                constraints.space_constraints.append(
+                    IntervalConstraint("y", start, end, space_min, "space")
+                )
+
+    # Polygon cells for the area constraints.
+    labels, count = connected_components(grid)
+    for comp in range(1, count + 1):
+        rr, cc = np.nonzero(labels == comp)
+        constraints.polygon_cells.append(list(zip(rr.tolist(), cc.tolist())))
+
+    return constraints
+
+
+def polygon_area(
+    cells: list[tuple[int, int]], delta_x: np.ndarray, delta_y: np.ndarray
+) -> float:
+    """Area of one polygon given concrete geometric vectors."""
+    dx = np.asarray(delta_x, dtype=np.float64)
+    dy = np.asarray(delta_y, dtype=np.float64)
+    return float(sum(dx[c] * dy[r] for r, c in cells))

@@ -1,0 +1,175 @@
+"""High-level legalisation API: topology matrix in, legal squish patterns out.
+
+Implements the "2D Legal Pattern Assessment" phase of the framework
+(Section III-D): every generated topology receives one (DiffPattern-S) or
+many (DiffPattern-L) legal geometric-vector assignments under the active
+design rules, and unsolvable topologies are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..squish import SquishPattern
+from ..utils import as_rng
+from .constraints import extract_constraints
+from .rules import DesignRules
+from .solver import GeometrySolution, SolverOptions, solve_geometry
+
+
+@dataclass
+class LegalizationStats:
+    """Aggregate statistics of a legalisation run (feeds Table II)."""
+
+    attempted: int = 0
+    solved: int = 0
+    failed: int = 0
+    total_solver_time: float = 0.0
+    total_iterations: int = 0
+    solutions: int = 0
+
+    @property
+    def average_time_per_solution(self) -> float:
+        return self.total_solver_time / self.solutions if self.solutions else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.solved / self.attempted if self.attempted else 0.0
+
+
+@dataclass
+class LegalizedTopology:
+    """All legal patterns produced from one topology matrix."""
+
+    topology: np.ndarray
+    patterns: list[SquishPattern] = field(default_factory=list)
+    solutions: list[GeometrySolution] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        return bool(self.patterns)
+
+
+class Legalizer:
+    """Assigns legal geometric vectors to generated topology matrices.
+
+    Parameters
+    ----------
+    rules:
+        Active design rules.
+    reference_geometries:
+        Optional list of ``(delta_x, delta_y)`` pairs from the existing
+        pattern library.  When given, the solver is warm-started from a
+        randomly chosen pair (``Solving-E``); otherwise it uses random
+        targets (``Solving-R``).
+    options:
+        Numerical solver options.
+    """
+
+    def __init__(
+        self,
+        rules: DesignRules,
+        reference_geometries: "list[tuple[np.ndarray, np.ndarray]] | None" = None,
+        options: "SolverOptions | None" = None,
+    ) -> None:
+        self.rules = rules
+        self.reference_geometries = list(reference_geometries or [])
+        self.options = options if options is not None else SolverOptions()
+        self.stats = LegalizationStats()
+
+    # ------------------------------------------------------------------ #
+    def _pick_targets(
+        self, shape: tuple[int, int], rng: np.random.Generator
+    ) -> tuple["np.ndarray | None", "np.ndarray | None"]:
+        """Choose solver targets: an existing geometry pair when available."""
+        rows, cols = shape
+        candidates = [
+            (dx, dy)
+            for dx, dy in self.reference_geometries
+            if len(dx) == cols and len(dy) == rows
+        ]
+        if not candidates:
+            return None, None
+        dx, dy = candidates[int(rng.integers(0, len(candidates)))]
+        return np.asarray(dx, dtype=np.float64), np.asarray(dy, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def legalize_topology(
+        self,
+        topology: np.ndarray,
+        num_solutions: int = 1,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> LegalizedTopology:
+        """Produce up to ``num_solutions`` legal patterns for one topology.
+
+        DiffPattern-S uses ``num_solutions=1``; DiffPattern-L uses a larger
+        value (100 in the paper).  Each solution uses a fresh target, so the
+        returned geometries differ (Fig. 7).
+        """
+        gen = as_rng(rng)
+        topology = np.asarray(topology)
+        constraints = extract_constraints(topology, self.rules.width_min, self.rules.space_min)
+        result = LegalizedTopology(topology=topology.astype(np.uint8))
+        self.stats.attempted += 1
+
+        for solution_index in range(num_solutions):
+            if solution_index == 0 and self.reference_geometries:
+                target_x, target_y = self._pick_targets(constraints.shape, gen)
+            else:
+                target_x, target_y = None, None
+            solution = solve_geometry(
+                constraints,
+                self.rules,
+                target_x=target_x,
+                target_y=target_y,
+                rng=gen,
+                options=self.options,
+            )
+            self.stats.total_solver_time += solution.elapsed_seconds
+            self.stats.total_iterations += solution.iterations
+            if not solution.success:
+                # Unsolved attempts are skipped; remaining solution slots are
+                # still tried with fresh random targets.
+                continue
+            self.stats.solutions += 1
+            result.solutions.append(solution)
+            result.patterns.append(
+                SquishPattern(
+                    topology=topology.astype(np.uint8),
+                    delta_x=solution.delta_x,
+                    delta_y=solution.delta_y,
+                )
+            )
+
+        if result.solved:
+            self.stats.solved += 1
+        else:
+            self.stats.failed += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    def legalize_batch(
+        self,
+        topologies: "np.ndarray | list[np.ndarray]",
+        num_solutions: int = 1,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> list[LegalizedTopology]:
+        """Legalise a batch of topology matrices; unsolvable ones are kept in
+        the output with an empty pattern list so callers can count failures."""
+        gen = as_rng(rng)
+        return [
+            self.legalize_topology(topology, num_solutions=num_solutions, rng=gen)
+            for topology in topologies
+        ]
+
+    def legal_patterns(
+        self,
+        topologies: "np.ndarray | list[np.ndarray]",
+        num_solutions: int = 1,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> list[SquishPattern]:
+        """Flatten :meth:`legalize_batch` into the final pattern library."""
+        results = self.legalize_batch(topologies, num_solutions=num_solutions, rng=rng)
+        return [pattern for result in results for pattern in result.patterns]

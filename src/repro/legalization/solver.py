@@ -1,0 +1,299 @@
+"""Nonlinear-system solver for the 2D legal pattern assessment (Eq. 14).
+
+The system's unknowns are the geometric vectors ``delta_x`` (one entry per
+topology column) and ``delta_y`` (one per row).  The constraints are
+
+* positivity of every interval,
+* both vectors summing to the pattern window size,
+* linear lower bounds for every width / space run,
+* nonlinear two-sided bounds on every polygon area.
+
+The system is solved with SLSQP (scipy); the objective is a least-squares
+pull towards a *target* geometry, which makes the solution set explorable:
+different random targets give different legal geometries for the same
+topology (DiffPattern-L), while targets taken from existing dataset
+geometries give the accelerated ``Solving-E`` variant of Table II.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..utils import as_rng
+from .constraints import TopologyConstraints, extract_constraints, polygon_area
+from .rules import DesignRules
+
+
+@dataclass
+class SolverOptions:
+    """Numerical options of the SLSQP solve."""
+
+    margin: float = 2.0            # slack (nm) added to every >= constraint before rounding
+    lower_bound: float = 4.0       # minimum interval length (nm)
+    max_iterations: int = 300
+    tolerance: float = 1e-6
+    max_attempts: int = 4          # restarts with fresh random targets on failure
+
+
+@dataclass
+class GeometrySolution:
+    """Result of one legalisation solve."""
+
+    success: bool
+    delta_x: "np.ndarray | None"
+    delta_y: "np.ndarray | None"
+    iterations: int
+    elapsed_seconds: float
+    message: str = ""
+    attempts: int = 1
+    objective: float = field(default=float("nan"))
+
+
+def _random_partition(total: int, parts: int, rng: np.random.Generator) -> np.ndarray:
+    """A random positive vector of length ``parts`` summing to ``total``."""
+    weights = rng.dirichlet(np.full(parts, 2.0))
+    return weights * float(total)
+
+
+def _round_preserving_sum(values: np.ndarray, total: int) -> np.ndarray:
+    """Round to integers while keeping the exact sum (largest-remainder)."""
+    floors = np.floor(values).astype(np.int64)
+    floors = np.maximum(floors, 1)
+    deficit = int(total - floors.sum())
+    if deficit > 0:
+        remainders = values - np.floor(values)
+        order = np.argsort(-remainders)
+        for i in range(deficit):
+            floors[order[i % len(order)]] += 1
+    elif deficit < 0:
+        order = np.argsort(-floors)
+        i = 0
+        while deficit < 0:
+            idx = order[i % len(order)]
+            if floors[idx] > 1:
+                floors[idx] -= 1
+                deficit += 1
+            i += 1
+    return floors
+
+
+def solve_geometry(
+    constraints: TopologyConstraints,
+    rules: DesignRules,
+    target_x: "np.ndarray | None" = None,
+    target_y: "np.ndarray | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    options: "SolverOptions | None" = None,
+) -> GeometrySolution:
+    """Find legal integer geometric vectors for one topology.
+
+    ``target_x`` / ``target_y`` steer the least-squares objective; when omitted
+    random targets are drawn (``Solving-R``).  Supplying geometry vectors from
+    an existing pattern gives ``Solving-E``.
+    """
+    opts = options if options is not None else SolverOptions()
+    gen = as_rng(rng)
+    rows, cols = constraints.shape
+    total = rules.pattern_size
+    start_time = time.perf_counter()
+
+    attempts = 0
+    last_message = ""
+    total_iterations = 0
+    while attempts < opts.max_attempts:
+        attempts += 1
+        tx = target_x if (target_x is not None and attempts == 1) else _random_partition(total, cols, gen)
+        ty = target_y if (target_y is not None and attempts == 1) else _random_partition(total, rows, gen)
+        tx = np.asarray(tx, dtype=np.float64)
+        ty = np.asarray(ty, dtype=np.float64)
+        if tx.shape[0] != cols or ty.shape[0] != rows:
+            raise ValueError(
+                f"target vectors have wrong length (need {cols} x-targets, {rows} y-targets)"
+            )
+
+        result = _solve_once(constraints, rules, tx, ty, opts)
+        total_iterations += result["iterations"]
+        if result["success"]:
+            dx = _round_preserving_sum(result["delta_x"], total)
+            dy = _round_preserving_sum(result["delta_y"], total)
+            if _verify_integer_solution(constraints, rules, dx, dy):
+                elapsed = time.perf_counter() - start_time
+                return GeometrySolution(
+                    success=True,
+                    delta_x=dx,
+                    delta_y=dy,
+                    iterations=total_iterations,
+                    elapsed_seconds=elapsed,
+                    message="converged",
+                    attempts=attempts,
+                    objective=result["objective"],
+                )
+            last_message = "rounded solution violated a constraint"
+        else:
+            last_message = result["message"]
+
+    elapsed = time.perf_counter() - start_time
+    return GeometrySolution(
+        success=False,
+        delta_x=None,
+        delta_y=None,
+        iterations=total_iterations,
+        elapsed_seconds=elapsed,
+        message=last_message or "no feasible solution found",
+        attempts=attempts,
+    )
+
+
+def _solve_once(
+    constraints: TopologyConstraints,
+    rules: DesignRules,
+    target_x: np.ndarray,
+    target_y: np.ndarray,
+    opts: SolverOptions,
+) -> dict:
+    rows, cols = constraints.shape
+    total = float(rules.pattern_size)
+    n_vars = cols + rows
+    target = np.concatenate([target_x, target_y])
+    # Normalise the least-squares pull so that objective values are O(100) and
+    # gradients O(0.1): small enough to be well conditioned, large enough that
+    # SLSQP keeps descending towards the target instead of stopping at the
+    # first feasible point (which would collapse solution diversity).
+    scale = 1.0 / total
+
+    def objective(v: np.ndarray) -> float:
+        diff = v - target
+        return float(diff @ diff) * scale
+
+    def objective_grad(v: np.ndarray) -> np.ndarray:
+        return 2.0 * (v - target) * scale
+
+    cons = []
+
+    # Equality: both vectors sum to the window size.
+    sum_x_jac = np.concatenate([np.ones(cols), np.zeros(rows)])
+    sum_y_jac = np.concatenate([np.zeros(cols), np.ones(rows)])
+    cons.append(
+        {"type": "eq", "fun": lambda v: v[:cols].sum() - total, "jac": lambda v: sum_x_jac}
+    )
+    cons.append(
+        {"type": "eq", "fun": lambda v: v[cols:].sum() - total, "jac": lambda v: sum_y_jac}
+    )
+
+    # Linear width / space lower bounds (with rounding margin).
+    for constraint in constraints.all_interval_constraints:
+        jac = np.zeros(n_vars)
+        if constraint.axis == "x":
+            idx = constraint.indices()
+        else:
+            idx = constraint.indices() + cols
+        jac[idx] = 1.0
+        minimum = constraint.minimum + opts.margin
+
+        def fun(v: np.ndarray, idx=idx, minimum=minimum) -> float:
+            return float(v[idx].sum() - minimum)
+
+        cons.append({"type": "ineq", "fun": fun, "jac": lambda v, jac=jac: jac})
+
+    # Nonlinear polygon-area constraints (two-sided, with area margin).
+    # Rounding each interval by at most 1 nm can change a polygon's area by up
+    # to ~2 * pattern_size + (#cells), so the continuous solve must stay that
+    # far inside the legal area window for the rounded solution to verify.
+    area_margin = 2.0 * total + rows * cols
+    if rules.area_max - rules.area_min <= 2.0 * area_margin:
+        area_margin = max(0.0, (rules.area_max - rules.area_min) / 4.0)
+    for cells in constraints.polygon_cells:
+        rows_idx = np.asarray([r for r, _ in cells])
+        cols_idx = np.asarray([c for _, c in cells])
+
+        def area_fun(v: np.ndarray, rows_idx=rows_idx, cols_idx=cols_idx) -> float:
+            return float((v[cols_idx] * v[cols + rows_idx]).sum())
+
+        def area_jac(v: np.ndarray, rows_idx=rows_idx, cols_idx=cols_idx) -> np.ndarray:
+            grad = np.zeros(n_vars)
+            np.add.at(grad, cols_idx, v[cols + rows_idx])
+            np.add.at(grad, cols + rows_idx, v[cols_idx])
+            return grad
+
+        cons.append(
+            {
+                "type": "ineq",
+                "fun": lambda v, f=area_fun: f(v) - (rules.area_min + area_margin),
+                "jac": lambda v, j=area_jac: j(v),
+            }
+        )
+        cons.append(
+            {
+                "type": "ineq",
+                "fun": lambda v, f=area_fun: (rules.area_max - area_margin) - f(v),
+                "jac": lambda v, j=area_jac: -j(v),
+            }
+        )
+
+    bounds = [(opts.lower_bound, total)] * n_vars
+    # Start from uniform intervals: it satisfies the equality constraints
+    # exactly and is (near-)feasible for typical width/space minima, which
+    # keeps SLSQP well-behaved.  Diversity comes from the random *target* in
+    # the objective, not from the start point.
+    x0 = np.empty(n_vars)
+    x0[:cols] = total / cols
+    x0[cols:] = total / rows
+
+    result = optimize.minimize(
+        objective,
+        x0,
+        jac=objective_grad,
+        bounds=bounds,
+        constraints=cons,
+        method="SLSQP",
+        options={"maxiter": opts.max_iterations, "ftol": opts.tolerance},
+    )
+    return {
+        "success": bool(result.success),
+        "delta_x": result.x[:cols],
+        "delta_y": result.x[cols:],
+        "iterations": int(result.nit),
+        "message": str(result.message),
+        "objective": float(result.fun),
+    }
+
+
+def _verify_integer_solution(
+    constraints: TopologyConstraints,
+    rules: DesignRules,
+    delta_x: np.ndarray,
+    delta_y: np.ndarray,
+) -> bool:
+    """Exact re-check of Eq. (14) on the rounded integer vectors."""
+    if (delta_x <= 0).any() or (delta_y <= 0).any():
+        return False
+    if int(delta_x.sum()) != rules.pattern_size or int(delta_y.sum()) != rules.pattern_size:
+        return False
+    for constraint in constraints.all_interval_constraints:
+        delta = delta_x if constraint.axis == "x" else delta_y
+        if int(delta[constraint.indices()].sum()) < constraint.minimum:
+            return False
+    for cells in constraints.polygon_cells:
+        area = polygon_area(cells, delta_x, delta_y)
+        if not rules.area_min <= area <= rules.area_max:
+            return False
+    return True
+
+
+def solve_topology(
+    topology: np.ndarray,
+    rules: DesignRules,
+    target_x: "np.ndarray | None" = None,
+    target_y: "np.ndarray | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    options: "SolverOptions | None" = None,
+) -> GeometrySolution:
+    """Convenience wrapper: extract constraints from ``topology`` and solve."""
+    constraints = extract_constraints(topology, rules.width_min, rules.space_min)
+    return solve_geometry(
+        constraints, rules, target_x=target_x, target_y=target_y, rng=rng, options=options
+    )

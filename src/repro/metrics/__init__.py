@@ -1,0 +1,26 @@
+"""Evaluation metrics: pattern complexity, library diversity, validity."""
+
+from .complexity import (
+    complexity_distribution,
+    pattern_complexity,
+    topology_complexity,
+)
+from .diversity import (
+    diversity_from_complexities,
+    pattern_diversity,
+    shannon_entropy,
+    topology_diversity,
+)
+from .validity import ValidityConfig, ValidityScorer
+
+__all__ = [
+    "pattern_complexity",
+    "topology_complexity",
+    "complexity_distribution",
+    "shannon_entropy",
+    "diversity_from_complexities",
+    "pattern_diversity",
+    "topology_diversity",
+    "ValidityScorer",
+    "ValidityConfig",
+]

@@ -1,0 +1,53 @@
+"""Pattern-library diversity (Definition 1 / Eq. 4 of the paper).
+
+Diversity ``H`` is the Shannon entropy of the joint distribution of pattern
+complexities ``(cx, cy)`` over the library.  A larger ``H`` means the library
+covers a wider variety of pattern structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..squish import SquishPattern
+from .complexity import pattern_complexity, topology_complexity
+
+
+def shannon_entropy(probabilities: np.ndarray, base: float = 2.0) -> float:
+    """Entropy of a (possibly unnormalised) non-negative distribution."""
+    probs = np.asarray(probabilities, dtype=np.float64).ravel()
+    if (probs < 0).any():
+        raise ValueError("probabilities must be non-negative")
+    total = probs.sum()
+    if total <= 0:
+        return 0.0
+    probs = probs / total
+    nonzero = probs[probs > 0]
+    return float(-(nonzero * (np.log(nonzero) / np.log(base))).sum())
+
+
+def diversity_from_complexities(
+    complexities: "list[tuple[int, int]]", base: float = 2.0
+) -> float:
+    """Diversity H of a library described by its complexity pairs."""
+    if not complexities:
+        return 0.0
+    pairs, counts = np.unique(np.asarray(complexities, dtype=np.int64), axis=0, return_counts=True)
+    del pairs
+    return shannon_entropy(counts.astype(np.float64), base=base)
+
+
+def pattern_diversity(patterns: "list[SquishPattern]", base: float = 2.0) -> float:
+    """Diversity H of a library of squish patterns."""
+    return diversity_from_complexities([pattern_complexity(p) for p in patterns], base=base)
+
+
+def topology_diversity(topologies: "list[np.ndarray] | np.ndarray", base: float = 2.0) -> float:
+    """Diversity H of a set of bare topology matrices.
+
+    Used for the 'Generated Topology' column of Table I, where geometric
+    vectors have not been assigned yet.
+    """
+    return diversity_from_complexities(
+        [topology_complexity(t) for t in topologies], base=base
+    )

@@ -1,0 +1,61 @@
+"""Pure-NumPy neural-network substrate.
+
+Provides a tape-based autograd engine, a module system with the layers used
+by diffusion U-Nets (convolution, group norm, attention), optimisers and
+checkpointing.  This replaces PyTorch, which is not available in the
+reproduction environment; the mathematical behaviour is identical, only the
+throughput differs.
+"""
+
+from . import functional
+from .modules import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SiLU,
+)
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, concatenate, ones, randn, stack, tensor, zeros
+from .unet import UNet, UNetConfig
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "concatenate",
+    "stack",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "GroupNorm",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "SiLU",
+    "ReLU",
+    "Sigmoid",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+    "UNet",
+    "UNetConfig",
+]

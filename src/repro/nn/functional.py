@@ -1,0 +1,248 @@
+"""Differentiable functional operators built on :class:`repro.nn.Tensor`.
+
+Contains the operations the U-Net backbone and the baseline generators need:
+2-D convolution (im2col), nearest-neighbour upsampling, average pooling,
+normalisation, stable softmax / log-softmax, categorical losses and dropout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, _DTYPE
+
+
+# ---------------------------------------------------------------------- #
+# im2col helpers (shared by conv2d forward and backward)
+# ---------------------------------------------------------------------- #
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    hp, wp = x.shape[2], x.shape[3]
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = np.ascontiguousarray(view).reshape(n, c * kh * kw, out_h * out_w)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col` (scatter-add of overlapping patches)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x_padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
+                :, :, i, j
+            ]
+    if pad:
+        return x_padded[:, :, pad : pad + h, pad : pad + w]
+    return x_padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: "Tensor | None" = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over ``(N, C, H, W)`` input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)`` and ``bias``
+    shape ``(out_channels,)``.
+    """
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if ic != c:
+        raise ValueError(f"weight expects {ic} input channels, got {c}")
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    w_mat = weight.data.reshape(oc, -1)
+    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1)
+    out = out.reshape(n, oc, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, oc, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            grad_w = np.einsum("nol,nkl->ok", grad_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat, optimize=True)
+            grad_x = _col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
+            x._accumulate(grad_x)
+
+    requires = any(p.requires_grad for p in parents)
+    return Tensor(
+        out,
+        requires_grad=requires,
+        _parents=parents if requires else (),
+        _backward_fn=backward_fn if requires else None,
+    )
+
+
+def linear(x: Tensor, weight: Tensor, bias: "Tensor | None" = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for ``(..., in_features)`` input."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling of ``(N, C, H, W)`` by integer ``scale``."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    out_data = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        n, c, h_out, w_out = grad.shape
+        h, w = h_out // scale, w_out // scale
+        grad_x = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(grad_x)
+
+    return Tensor(
+        out_data,
+        requires_grad=x.requires_grad,
+        _parents=(x,) if x.requires_grad else (),
+        _backward_fn=backward_fn if x.requires_grad else None,
+    )
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling with a square ``kernel``."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {h}x{w} not divisible by kernel {kernel}")
+    reshaped = x.reshape(n, c, h // kernel, kernel, w // kernel, kernel)
+    return reshaped.mean(axis=(3, 5))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray, axis: int = -1) -> Tensor:
+    """Mean cross-entropy between ``logits`` and one-hot ``targets``.
+
+    ``targets`` is a plain NumPy array of the same shape as ``logits`` whose
+    entries along ``axis`` form a probability vector (usually one-hot).
+    """
+    log_probs = log_softmax(logits, axis=axis)
+    per_element = -(Tensor(np.asarray(targets, dtype=_DTYPE)) * log_probs).sum(axis=axis)
+    return per_element.mean()
+
+
+def kl_divergence_categorical(
+    target_probs: np.ndarray, logits: Tensor, axis: int = -1, eps: float = 1e-10
+) -> Tensor:
+    """Mean ``KL(target || softmax(logits))`` for fixed target distributions.
+
+    The target is treated as a constant (exactly the role of the forward
+    posterior ``q(x_{k-1} | x_k, x_0)`` in the diffusion loss).
+    """
+    target = np.asarray(target_probs, dtype=_DTYPE)
+    log_probs = log_softmax(logits, axis=axis)
+    entropy_term = float((target * np.log(np.clip(target, eps, 1.0))).sum(axis=axis).mean())
+    cross_term = -(Tensor(target) * log_probs).sum(axis=axis).mean()
+    return cross_term + entropy_term
+
+
+def group_norm(
+    x: Tensor, num_groups: int, weight: Tensor, bias: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Group normalisation for ``(N, C, H, W)`` tensors."""
+    n, c, h, w = x.shape
+    if c % num_groups:
+        raise ValueError(f"{c} channels not divisible by {num_groups} groups")
+    grouped = x.reshape(n, num_groups, c // num_groups * h * w)
+    mean = grouped.mean(axis=2, keepdims=True)
+    centred = grouped - mean
+    var = (centred * centred).mean(axis=2, keepdims=True)
+    normed = centred / ((var + eps) ** 0.5)
+    normed = normed.reshape(n, c, h, w)
+    return normed * weight.reshape(1, c, 1, 1) + bias.reshape(1, c, 1, 1)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    normed = centred / ((var + eps) ** 0.5)
+    return normed * weight + bias
+
+
+def dropout(
+    x: Tensor, rate: float, rng: np.random.Generator, training: bool = True
+) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must lie in [0, 1)")
+    mask = (rng.random(x.shape) >= rate).astype(_DTYPE) / (1.0 - rate)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(
+        x.data * mask,
+        requires_grad=x.requires_grad,
+        _parents=(x,) if x.requires_grad else (),
+        _backward_fn=backward_fn if x.requires_grad else None,
+    )
+
+
+def sinusoidal_embedding(timesteps: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:
+    """Sinusoidal position embedding of diffusion timesteps (Transformer-style).
+
+    Returns a plain ``(len(timesteps), dim)`` array; it is an input feature,
+    not a learnable quantity.
+    """
+    if dim % 2:
+        raise ValueError("embedding dimension must be even")
+    timesteps = np.asarray(timesteps, dtype=np.float64).reshape(-1)
+    half = dim // 2
+    freqs = np.exp(-np.log(max_period) * np.arange(half, dtype=np.float64) / half)
+    args = timesteps[:, None] * freqs[None, :]
+    return np.concatenate([np.sin(args), np.cos(args)], axis=1).astype(_DTYPE)

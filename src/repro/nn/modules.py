@@ -1,0 +1,278 @@
+"""Module system and standard layers.
+
+A thin PyTorch-like module layer on top of the autograd engine: parameter
+registration, recursive traversal, train/eval mode, state-dict extraction, and
+the concrete layers used by the U-Net and the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, _DTYPE
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ------------------------------------------------- #
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ----------------------------------------------------- #
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every parameter of this module and its children."""
+        for param in self._parameters.values():
+            yield param
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- modes ---------------------------------------------------------- #
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=_DTYPE)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    # -- call ------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for idx, layer in enumerate(layers):
+            setattr(self, f"layer_{idx}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Identity(Module):
+    """No-op layer (used for optional skip projections)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        bound = 1.0 / math.sqrt(in_features)
+        self.weight = Parameter(
+            gen.uniform(-bound, bound, size=(out_features, in_features)).astype(_DTYPE)
+        )
+        self.bias = (
+            Parameter(gen.uniform(-bound, bound, size=(out_features,)).astype(_DTYPE))
+            if bias
+            else None
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = 1.0 / math.sqrt(fan_in)
+        self.weight = Parameter(
+            gen.uniform(
+                -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+            ).astype(_DTYPE)
+        )
+        self.bias = (
+            Parameter(gen.uniform(-bound, bound, size=(out_channels,)).astype(_DTYPE))
+            if bias
+            else None
+        )
+        self.stride = stride
+        self.padding = padding
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class GroupNorm(Module):
+    """Group normalisation with learnable scale/shift."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"num_channels ({num_channels}) must be divisible by num_groups ({num_groups})"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels, dtype=_DTYPE))
+        self.bias = Parameter(np.zeros(num_channels, dtype=_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.group_norm(x, self.num_groups, self.weight, self.bias, eps=self.eps)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=_DTYPE))
+        self.bias = Parameter(np.zeros(dim, dtype=_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator for reproducibility."""
+
+    def __init__(self, rate: float, rng: "np.random.Generator | None" = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self._rng, training=self.training)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer tokens to vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter((gen.standard_normal((num_embeddings, dim)) * 0.02).astype(_DTYPE))
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices)
+        if (idx < 0).any() or (idx >= self.num_embeddings).any():
+            raise IndexError("embedding index out of range")
+        return self.weight[idx]
+
+
+class SiLU(Module):
+    """The SiLU / swish activation used throughout the U-Net."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.silu()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()

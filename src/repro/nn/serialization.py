@@ -1,0 +1,27 @@
+"""Checkpoint saving and loading for modules (NumPy ``.npz`` format)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_checkpoint(module: Module, path: "str | Path") -> None:
+    """Write every parameter of ``module`` to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    # '.' is not a valid npz key separator for attribute access but is fine as
+    # a plain key; keep names verbatim so load is a strict inverse.
+    np.savez_compressed(path, **state)
+
+
+def load_checkpoint(module: Module, path: "str | Path") -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

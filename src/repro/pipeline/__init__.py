@@ -1,0 +1,65 @@
+"""End-to-end DiffPattern pipeline, comparison and experiment harnesses."""
+
+from .comparison import (
+    MethodRow,
+    attach_reference_geometry,
+    complexity_histogram,
+    evaluate_baseline,
+    evaluate_diffpattern,
+    evaluate_real_patterns,
+    format_table,
+)
+from .config import DiffPatternConfig
+from .diffpattern import (
+    DiffPatternPipeline,
+    DiffPatternTopologyGenerator,
+    GenerationResult,
+)
+from .efficiency import (
+    EfficiencyReport,
+    EfficiencyRow,
+    measure_sampling_time,
+    measure_solving_time,
+    run_efficiency_experiment,
+)
+from .figures import (
+    ComplexityComparison,
+    DenoisingChain,
+    RuleScenario,
+    compare_complexity_distributions,
+    geometry_signatures,
+    patterns_from_single_topology,
+    patterns_under_rule_scenarios,
+    render_pattern,
+    render_topology,
+    run_denoising_chain,
+)
+
+__all__ = [
+    "DiffPatternConfig",
+    "DiffPatternPipeline",
+    "DiffPatternTopologyGenerator",
+    "GenerationResult",
+    "MethodRow",
+    "evaluate_real_patterns",
+    "evaluate_baseline",
+    "evaluate_diffpattern",
+    "attach_reference_geometry",
+    "format_table",
+    "complexity_histogram",
+    "EfficiencyRow",
+    "EfficiencyReport",
+    "measure_sampling_time",
+    "measure_solving_time",
+    "run_efficiency_experiment",
+    "DenoisingChain",
+    "run_denoising_chain",
+    "patterns_from_single_topology",
+    "geometry_signatures",
+    "RuleScenario",
+    "patterns_under_rule_scenarios",
+    "ComplexityComparison",
+    "compare_complexity_distributions",
+    "render_topology",
+    "render_pattern",
+]

@@ -1,0 +1,121 @@
+"""Configuration objects for the end-to-end DiffPattern pipeline."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..data import DatasetConfig
+from ..diffusion import DiffusionConfig
+from ..legalization import DesignRules
+from ..nn import UNetConfig
+from ..prefilter import PrefilterConfig
+
+
+@dataclass
+class DiffPatternConfig:
+    """Everything needed to train and run the full DiffPattern framework.
+
+    Three preset scales are provided:
+
+    * :meth:`tiny` — seconds-scale settings used by the unit tests,
+    * :meth:`laptop` — the default, minutes-scale and CPU-friendly,
+    * :meth:`paper` — the configuration reported in the paper
+      (16x32x32 tensors, K=1000, 128-channel U-Net, 0.5 M iterations);
+      valid but only practical with substantial compute.
+    """
+
+    rules: DesignRules = field(default_factory=DesignRules)
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    diffusion: DiffusionConfig = field(default_factory=DiffusionConfig)
+    prefilter: PrefilterConfig = field(default_factory=PrefilterConfig)
+    model_channels: int = 32
+    channel_mult: tuple[int, ...] = (1, 2, 2)
+    num_res_blocks: int = 2
+    attention_resolutions: tuple[int, ...] = (4,)
+    dropout: float = 0.1
+    train_iterations: int = 200
+    batch_size: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset.rules != self.rules:
+            # Keep one source of truth for the rules across the pipeline.
+            self.dataset = DatasetConfig(
+                matrix_size=self.dataset.matrix_size,
+                channels=self.dataset.channels,
+                test_fraction=self.dataset.test_fraction,
+                rules=self.rules,
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tensor_size(self) -> int:
+        """Spatial side of the deep-squish topology tensor."""
+        return self.dataset.tensor_size
+
+    def unet_config(self) -> UNetConfig:
+        """The U-Net configuration implied by this pipeline configuration."""
+        return UNetConfig(
+            in_channels=self.dataset.channels,
+            num_classes=self.diffusion.num_states,
+            image_size=self.tensor_size,
+            model_channels=self.model_channels,
+            channel_mult=self.channel_mult,
+            num_res_blocks=self.num_res_blocks,
+            attention_resolutions=self.attention_resolutions,
+            dropout=self.dropout,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def tiny(cls, rules: "DesignRules | None" = None) -> "DiffPatternConfig":
+        """Seconds-scale configuration for tests and CI."""
+        rules = rules if rules is not None else DesignRules()
+        return cls(
+            rules=rules,
+            dataset=DatasetConfig(matrix_size=16, channels=4, rules=rules),
+            diffusion=DiffusionConfig(num_steps=8, lambda_ce=0.05),
+            model_channels=8,
+            channel_mult=(1, 2),
+            num_res_blocks=1,
+            attention_resolutions=(4,),
+            dropout=0.0,
+            train_iterations=10,
+            batch_size=8,
+        )
+
+    @classmethod
+    def laptop(cls, rules: "DesignRules | None" = None) -> "DiffPatternConfig":
+        """Minutes-scale configuration: the repository default for examples."""
+        rules = rules if rules is not None else DesignRules()
+        return cls(
+            rules=rules,
+            dataset=DatasetConfig(matrix_size=32, channels=16, rules=rules),
+            diffusion=DiffusionConfig(num_steps=64, lambda_ce=0.01),
+            model_channels=32,
+            channel_mult=(1, 2, 2),
+            num_res_blocks=2,
+            attention_resolutions=(4,),
+            dropout=0.1,
+            train_iterations=300,
+            batch_size=16,
+        )
+
+    @classmethod
+    def paper(cls, rules: "DesignRules | None" = None) -> "DiffPatternConfig":
+        """The configuration reported in Section IV-A of the paper."""
+        rules = rules if rules is not None else DesignRules()
+        return cls(
+            rules=rules,
+            dataset=DatasetConfig(matrix_size=128, channels=16, rules=rules),
+            diffusion=DiffusionConfig(num_steps=1000, lambda_ce=0.001),
+            model_channels=128,
+            channel_mult=(1, 2, 2, 2),
+            num_res_blocks=2,
+            attention_resolutions=(16,),
+            dropout=0.1,
+            train_iterations=500_000,
+            batch_size=128,
+        )

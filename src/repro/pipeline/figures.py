@@ -1,0 +1,176 @@
+"""Harnesses for the paper's qualitative figures (Fig. 6, 7, 8, 9).
+
+Each function returns plain data (arrays / pattern lists) plus an ASCII
+rendering helper so the benchmarks can print the same information the paper
+shows graphically, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..drc import DesignRuleChecker
+from ..legalization import DesignRules, Legalizer
+from ..metrics import complexity_distribution, pattern_complexity
+from ..squish import SquishPattern, unfold
+from ..utils import as_rng
+from .diffpattern import DiffPatternPipeline
+
+
+# --------------------------------------------------------------------------- #
+# ASCII rendering helpers
+# --------------------------------------------------------------------------- #
+def render_topology(topology: np.ndarray, filled: str = "#", empty: str = ".") -> str:
+    """Render a binary topology matrix as ASCII art."""
+    arr = np.asarray(topology)
+    return "\n".join("".join(filled if v else empty for v in row) for row in arr)
+
+
+def render_pattern(pattern: SquishPattern, width: int = 48) -> str:
+    """Render a squish pattern to a fixed-width ASCII raster (approximate)."""
+    layout = pattern.to_layout()
+    window = layout.window
+    scale_x = width / max(window.width, 1)
+    height = max(1, int(round(window.height * scale_x)))
+    height = min(height, width)
+    canvas = np.zeros((height, width), dtype=np.uint8)
+    for rect in layout.all_rects():
+        c1 = int((rect.x1 - window.x1) * scale_x)
+        c2 = max(c1 + 1, int((rect.x2 - window.x1) * scale_x))
+        r1 = int((rect.y1 - window.y1) * height / max(window.height, 1))
+        r2 = max(r1 + 1, int((rect.y2 - window.y1) * height / max(window.height, 1)))
+        canvas[r1:r2, c1:c2] = 1
+    return render_topology(canvas)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 — denoising chain
+# --------------------------------------------------------------------------- #
+@dataclass
+class DenoisingChain:
+    """Intermediate topology matrices of one reverse-diffusion run."""
+
+    steps: list[int]
+    matrices: list[np.ndarray]
+
+    def fill_ratios(self) -> list[float]:
+        """Fraction of shape pixels at each recorded step."""
+        return [float(m.mean()) for m in self.matrices]
+
+
+def run_denoising_chain(
+    pipeline: DiffPatternPipeline,
+    chain_stride: int = 1,
+    rng: "int | np.random.Generator | None" = None,
+) -> DenoisingChain:
+    """Sample one topology, keeping the intermediate states (Fig. 6)."""
+    if pipeline.diffusion is None:
+        raise RuntimeError("the pipeline has no trained diffusion model")
+    _, chain = pipeline.diffusion.sample(1, rng=rng, return_chain=True, chain_stride=chain_stride)
+    num_steps = pipeline.config.diffusion.num_steps
+    steps = list(range(num_steps, -1, -chain_stride))
+    steps = steps[: len(chain)]
+    matrices = [unfold(state[0]) for state in chain]
+    return DenoisingChain(steps=steps, matrices=matrices)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7 — many legal patterns from a single topology
+# --------------------------------------------------------------------------- #
+def patterns_from_single_topology(
+    topology: np.ndarray,
+    rules: DesignRules,
+    num_patterns: int = 6,
+    rng: "int | np.random.Generator | None" = None,
+) -> list[SquishPattern]:
+    """Generate several distinct legal patterns sharing one topology (Fig. 7)."""
+    gen = as_rng(rng)
+    legalizer = Legalizer(rules)
+    result = legalizer.legalize_topology(topology, num_solutions=num_patterns, rng=gen)
+    return result.patterns
+
+
+def geometry_signatures(patterns: list[SquishPattern]) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Hashable (delta_x, delta_y) signatures used to verify distinctness."""
+    return [(tuple(p.delta_x.tolist()), tuple(p.delta_y.tolist())) for p in patterns]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8 — same topology under different design rules
+# --------------------------------------------------------------------------- #
+@dataclass
+class RuleScenario:
+    """One design-rule scenario of Fig. 8 and its legalisation outcome."""
+
+    name: str
+    rules: DesignRules
+    pattern: "SquishPattern | None"
+    legal: bool
+
+
+def patterns_under_rule_scenarios(
+    topology: np.ndarray,
+    scenarios: list[tuple[str, DesignRules]],
+    rng: "int | np.random.Generator | None" = None,
+) -> list[RuleScenario]:
+    """Legalise the same topology under several rule sets without retraining."""
+    gen = as_rng(rng)
+    results = []
+    for name, rules in scenarios:
+        legalizer = Legalizer(rules)
+        outcome = legalizer.legalize_topology(topology, num_solutions=1, rng=gen)
+        pattern = outcome.patterns[0] if outcome.solved else None
+        legal = bool(pattern is not None and DesignRuleChecker(rules).is_legal(pattern))
+        results.append(RuleScenario(name=name, rules=rules, pattern=pattern, legal=legal))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9 — complexity distribution
+# --------------------------------------------------------------------------- #
+@dataclass
+class ComplexityComparison:
+    """Complexity distributions of the real and generated libraries."""
+
+    real_distribution: np.ndarray
+    generated_distribution: np.ndarray
+    bins: int
+
+    def overlap(self) -> float:
+        """Histogram intersection in [0, 1]; higher means closer distributions."""
+        return float(np.minimum(self.real_distribution, self.generated_distribution).sum())
+
+    def mean_complexity(self) -> tuple[tuple[float, float], tuple[float, float]]:
+        """Mean (cx, cy) of each library."""
+        def mean_of(dist: np.ndarray) -> tuple[float, float]:
+            xs = np.arange(dist.shape[0])
+            ys = np.arange(dist.shape[1])
+            total = dist.sum()
+            if total == 0:
+                return 0.0, 0.0
+            return (
+                float((dist.sum(axis=1) * xs).sum() / total),
+                float((dist.sum(axis=0) * ys).sum() / total),
+            )
+
+        return mean_of(self.real_distribution), mean_of(self.generated_distribution)
+
+
+def compare_complexity_distributions(
+    real_patterns: list[SquishPattern],
+    generated_patterns: list[SquishPattern],
+    bins: "int | None" = None,
+) -> ComplexityComparison:
+    """Build the two 2-D complexity histograms of Fig. 9."""
+    real = [pattern_complexity(p) for p in real_patterns]
+    generated = [pattern_complexity(p) for p in generated_patterns]
+    if bins is None:
+        largest = max(max((c for pair in real + generated for c in pair), default=0) + 1, 2)
+        bins = largest
+    real_dist, _, _ = complexity_distribution(real, bins=bins)
+    generated_dist, _, _ = complexity_distribution(generated, bins=bins)
+    return ComplexityComparison(
+        real_distribution=real_dist, generated_distribution=generated_dist, bins=bins
+    )

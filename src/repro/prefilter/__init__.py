@@ -1,0 +1,5 @@
+"""Rule-based topology pre-filter."""
+
+from .topology_filter import PrefilterConfig, PrefilterResult, TopologyPrefilter
+
+__all__ = ["PrefilterConfig", "PrefilterResult", "TopologyPrefilter"]

@@ -1,0 +1,99 @@
+"""Rule-based topology pre-filter (Section III-C, "Topology Pre-filter").
+
+Generated topology tensors are screened with cheap domain-knowledge rules
+before the (more expensive) legalisation solve:
+
+* **bow-ties** — two shapes touching only at a corner cannot be realised with
+  positive spacing and are always illegal;
+* **empty tiles** — a tile without any shape carries no information for a
+  pattern library;
+* **full tiles** — a tile that is a single solid block of metal cannot meet
+  a finite ``area_max`` at realistic tile sizes;
+* **degenerate shapes** (optional) — single isolated cells whose row *and*
+  column are otherwise empty generate extremely thin slivers; they are legal
+  in principle so this check is off by default.
+
+In the paper less than 0.1 % of generated topologies are filtered out; the
+filter therefore mostly acts as a safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import connected_components, has_bowtie, validate_grid
+
+
+@dataclass
+class PrefilterConfig:
+    """Which checks the pre-filter applies."""
+
+    reject_bowties: bool = True
+    reject_empty: bool = True
+    reject_full: bool = True
+    max_polygons: "int | None" = None
+    reject_single_cell_polygons: bool = False
+
+
+@dataclass
+class PrefilterResult:
+    """Outcome of filtering one batch of topologies."""
+
+    kept: list[np.ndarray] = field(default_factory=list)
+    rejected: list[np.ndarray] = field(default_factory=list)
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def keep_rate(self) -> float:
+        total = len(self.kept) + len(self.rejected)
+        return len(self.kept) / total if total else 0.0
+
+    @property
+    def reject_rate(self) -> float:
+        return 1.0 - self.keep_rate if (self.kept or self.rejected) else 0.0
+
+
+class TopologyPrefilter:
+    """Screens generated topology matrices with rule-based checks."""
+
+    def __init__(self, config: "PrefilterConfig | None" = None) -> None:
+        self.config = config if config is not None else PrefilterConfig()
+
+    def reject_reason(self, topology: np.ndarray) -> "str | None":
+        """Reason for rejecting ``topology``, or ``None`` when it passes."""
+        grid = validate_grid(topology)
+        config = self.config
+        filled = int(grid.sum())
+        if config.reject_empty and filled == 0:
+            return "empty"
+        if config.reject_full and filled == grid.size:
+            return "full"
+        if config.reject_bowties and has_bowtie(grid):
+            return "bowtie"
+        if config.max_polygons is not None or config.reject_single_cell_polygons:
+            labels, count = connected_components(grid)
+            if config.max_polygons is not None and count > config.max_polygons:
+                return "too_many_polygons"
+            if config.reject_single_cell_polygons:
+                for comp in range(1, count + 1):
+                    if int((labels == comp).sum()) == 1:
+                        return "single_cell_polygon"
+        return None
+
+    def accepts(self, topology: np.ndarray) -> bool:
+        """True when ``topology`` passes every enabled check."""
+        return self.reject_reason(topology) is None
+
+    def filter(self, topologies: "np.ndarray | list[np.ndarray]") -> PrefilterResult:
+        """Split a batch of topology matrices into kept / rejected."""
+        result = PrefilterResult()
+        for topology in topologies:
+            reason = self.reject_reason(topology)
+            if reason is None:
+                result.kept.append(np.asarray(topology, dtype=np.uint8))
+            else:
+                result.rejected.append(np.asarray(topology, dtype=np.uint8))
+                result.reasons.append(reason)
+        return result

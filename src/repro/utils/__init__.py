@@ -1,0 +1,6 @@
+"""Small shared utilities (RNG handling, timing, logging helpers)."""
+
+from .rng import as_rng
+from .timing import Timer
+
+__all__ = ["as_rng", "Timer"]

@@ -1,0 +1,28 @@
+"""Random-number-generator handling.
+
+All stochastic components of the library (data synthesis, diffusion sampling,
+weight initialisation, solver initialisation) accept either a seed or a
+``numpy.random.Generator``; this helper normalises both to a Generator so that
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    ``None`` produces a fresh non-deterministic generator, an int seeds a new
+    generator, and an existing Generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")

@@ -1,0 +1,191 @@
+"""Tests for the baseline topology generators (Table I competitors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CAEConfig,
+    CAEGenerator,
+    LayouTransformerConfig,
+    LayouTransformerGenerator,
+    LegalGANConfig,
+    LegalGANPostProcessor,
+    LegalizedGenerator,
+    RuleBasedGenerator,
+    VCAEConfig,
+    VCAEGenerator,
+    matrix_to_tokens,
+    tokens_to_matrix,
+    validate_matrices,
+)
+
+
+@pytest.fixture(scope="module")
+def train_matrices(tiny_dataset):
+    return tiny_dataset.topology_matrices("train")
+
+
+class TestValidation:
+    def test_validate_matrices_accepts_binary_stack(self, train_matrices):
+        out = validate_matrices(train_matrices)
+        assert out.dtype == np.uint8
+
+    def test_validate_matrices_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            validate_matrices(np.zeros((4, 4)))
+
+    def test_validate_matrices_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_matrices(np.zeros((0, 4, 4)))
+
+    def test_validate_matrices_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            validate_matrices(np.full((2, 4, 4), 2))
+
+
+class TestRuleBased:
+    def test_generate_shape_and_binary(self, train_matrices):
+        generator = RuleBasedGenerator().fit(train_matrices, rng=0)
+        out = generator.generate(5, rng=1)
+        assert out.shape == (5,) + train_matrices.shape[1:]
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RuleBasedGenerator().generate(2)
+
+    def test_requires_even_square_matrices(self):
+        with pytest.raises(ValueError):
+            RuleBasedGenerator().fit(np.zeros((2, 5, 5), dtype=np.uint8))
+
+    def test_output_reuses_training_quadrants(self, train_matrices):
+        generator = RuleBasedGenerator(units_per_quadrant=8).fit(train_matrices, rng=0)
+        out = generator.generate(3, rng=0)
+        half = train_matrices.shape[1] // 2
+        # every generated quadrant must exist in the unit library
+        units = {u.tobytes() for u in generator._units}
+        assert out[0, :half, :half].tobytes() in units
+
+
+class TestCAEAndVCAE:
+    def test_cae_generate_shapes(self, train_matrices):
+        generator = CAEGenerator(CAEConfig(iterations=15, base_channels=8, latent_dim=8))
+        out = generator.fit(train_matrices, rng=0).generate(4, rng=1)
+        assert out.shape == (4,) + train_matrices.shape[1:]
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_cae_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CAEGenerator().generate(1)
+
+    def test_cae_reconstruction_improves_with_training(self, train_matrices):
+        short = CAEGenerator(CAEConfig(iterations=2, base_channels=8, latent_dim=8, seed=0))
+        long = CAEGenerator(CAEConfig(iterations=80, base_channels=8, latent_dim=8, seed=0))
+        short.fit(train_matrices, rng=0)
+        long.fit(train_matrices, rng=0)
+
+        def reconstruction_error(generator):
+            from repro.nn import Tensor
+
+            x = train_matrices[:8, None].astype(np.float32)
+            recon = generator.decoder(generator.encoder(Tensor(x))).numpy()
+            return float(((recon - x) ** 2).mean())
+
+        assert reconstruction_error(long) < reconstruction_error(short)
+
+    def test_cae_requires_size_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            CAEGenerator(CAEConfig(iterations=1)).fit(np.zeros((4, 6, 6), dtype=np.uint8))
+
+    def test_vcae_generate_shapes(self, train_matrices):
+        generator = VCAEGenerator(VCAEConfig(iterations=15, base_channels=8, latent_dim=8))
+        out = generator.fit(train_matrices, rng=0).generate(4, rng=1)
+        assert out.shape == (4,) + train_matrices.shape[1:]
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_vcae_decoder_output_varies_with_latent(self, train_matrices):
+        from repro.nn import Tensor
+
+        generator = VCAEGenerator(VCAEConfig(iterations=15, base_channels=8, latent_dim=8))
+        generator.fit(train_matrices, rng=0)
+        rng = np.random.default_rng(0)
+        z_a = rng.standard_normal((1, 8)).astype(np.float32)
+        z_b = rng.standard_normal((1, 8)).astype(np.float32)
+        probs_a = generator.decoder(Tensor(z_a)).numpy()
+        probs_b = generator.decoder(Tensor(z_b)).numpy()
+        assert not np.allclose(probs_a, probs_b)
+
+    def test_vcae_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            VCAEGenerator().generate(1)
+
+
+class TestLegalGAN:
+    def test_postprocessor_learns_to_denoise(self, train_matrices):
+        post = LegalGANPostProcessor(LegalGANConfig(iterations=120, base_channels=8, corruption_rate=0.08))
+        post.fit(train_matrices, rng=0)
+        rng = np.random.default_rng(0)
+        clean = train_matrices[:8]
+        flips = (rng.random(clean.shape) < 0.08).astype(np.uint8)
+        corrupted = np.abs(clean.astype(np.int64) - flips).astype(np.uint8)
+        repaired = post.legalize(corrupted)
+        err_before = float((corrupted != clean).mean())
+        err_after = float((repaired != clean).mean())
+        assert err_after < err_before
+
+    def test_legalize_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LegalGANPostProcessor().legalize(np.zeros((1, 8, 8), dtype=np.uint8))
+
+    def test_legalized_generator_composes(self, train_matrices):
+        combo = LegalizedGenerator(
+            CAEGenerator(CAEConfig(iterations=10, base_channels=8, latent_dim=8)),
+            LegalGANPostProcessor(LegalGANConfig(iterations=10, base_channels=8)),
+        )
+        combo.fit(train_matrices, rng=0)
+        out = combo.generate(3, rng=0)
+        assert out.shape == (3,) + train_matrices.shape[1:]
+        assert combo.name == "CAE+LegalGAN"
+
+
+class TestLayouTransformer:
+    def test_tokenisation_roundtrip(self):
+        matrix = np.zeros((8, 8), dtype=np.uint8)
+        matrix[1, 2:5] = 1
+        matrix[4:6, 6] = 1
+        tokens = matrix_to_tokens(matrix, 8)
+        assert tokens[0] == 8 and tokens[-1] == 9
+        np.testing.assert_array_equal(tokens_to_matrix(tokens, 8), matrix)
+
+    def test_tokens_to_matrix_skips_malformed_triples(self):
+        # row index out of range and reversed run are both ignored
+        tokens = [8, 20, 1, 2, 3, 5, 2, 9]
+        matrix = tokens_to_matrix(tokens, 8)
+        assert matrix.sum() == 0
+
+    def test_fit_and_generate_shapes(self, train_matrices):
+        generator = LayouTransformerGenerator(
+            LayouTransformerConfig(iterations=10, dim=16, layers=1, max_runs=10)
+        )
+        out = generator.fit(train_matrices, rng=0).generate(2, rng=1)
+        assert out.shape == (2,) + train_matrices.shape[1:]
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LayouTransformerGenerator().generate(1)
+
+    def test_training_reduces_sequence_loss(self, train_matrices):
+        from repro.nn import functional as F
+
+        config = LayouTransformerConfig(iterations=60, dim=16, layers=1, max_runs=10, seed=0)
+        generator = LayouTransformerGenerator(config)
+        generator.fit(train_matrices, rng=0)
+        tokens = generator._encode_batch(train_matrices[:8])
+        inputs, targets = tokens[:, :-1], tokens[:, 1:]
+        logits = generator.model(inputs)
+        one_hot_targets = np.zeros(logits.shape, dtype=np.float32)
+        np.put_along_axis(one_hot_targets, targets[..., None], 1.0, axis=-1)
+        trained_loss = F.cross_entropy_with_logits(logits, one_hot_targets, axis=-1).item()
+        vocab = train_matrices.shape[1] + 2
+        assert trained_loss < np.log(vocab)

@@ -1,0 +1,107 @@
+"""Unit tests for the design-rule checker."""
+
+import numpy as np
+import pytest
+
+from repro.drc import DesignRuleChecker, DRCReport, Violation
+from repro.legalization import DesignRules
+from repro.squish import SquishPattern
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return DesignRuleChecker(
+        DesignRules(space_min=30, width_min=30, area_min=1000, area_max=100_000, pattern_size=400)
+    )
+
+
+def pattern_from(topo, dx, dy):
+    return SquishPattern(np.asarray(topo, dtype=np.uint8), np.asarray(dx), np.asarray(dy))
+
+
+class TestCleanPatterns:
+    def test_empty_pattern_is_clean(self, checker):
+        pattern = pattern_from(np.zeros((2, 2)), [200, 200], [200, 200])
+        assert checker.is_legal(pattern)
+
+    def test_single_large_rectangle_is_clean(self, checker):
+        pattern = pattern_from([[0, 0, 0], [0, 1, 0], [0, 0, 0]], [100, 200, 100], [100, 200, 100])
+        report = checker.check_pattern(pattern)
+        assert report.clean
+
+    def test_two_spaced_shapes_clean(self, checker):
+        topo = [[1, 0, 1]]
+        pattern = pattern_from(topo, [150, 100, 150], [400])
+        assert checker.is_legal(pattern)
+
+
+class TestViolations:
+    def test_width_violation_detected(self, checker):
+        pattern = pattern_from([[1, 0]], [10, 390], [400])
+        report = checker.check_pattern(pattern)
+        assert report.count("width") >= 1
+        assert not report.clean
+
+    def test_space_violation_detected(self, checker):
+        pattern = pattern_from([[1, 0, 1]], [180, 10, 210], [400])
+        report = checker.check_pattern(pattern)
+        assert report.count("space") >= 1
+
+    def test_area_too_small_detected(self, checker):
+        pattern = pattern_from([[1, 0], [0, 0]], [30, 370], [30, 370])
+        report = checker.check_pattern(pattern)
+        assert report.count("area") >= 1
+
+    def test_area_too_large_detected(self, checker):
+        pattern = pattern_from([[1]], [400], [400])
+        report = checker.check_pattern(pattern)
+        assert report.count("area") == 1
+
+    def test_bowtie_detected(self, checker):
+        pattern = pattern_from([[1, 0], [0, 1]], [200, 200], [200, 200])
+        report = checker.check_pattern(pattern)
+        assert report.count("bowtie") == 1
+
+    def test_border_gap_not_a_space_violation(self, checker):
+        # A single shape near the border: the gap to the window edge is not a
+        # space constraint between two polygons.
+        pattern = pattern_from([[1, 0]], [200, 200], [400])
+        report = checker.check_pattern(pattern)
+        assert report.count("space") == 0
+
+    def test_violation_string_is_informative(self):
+        violation = Violation("width", "x", (1, 2), 10.0, 30.0)
+        text = str(violation)
+        assert "width" in text and "10.0" in text and "30.0" in text
+
+
+class TestReportsAndRates:
+    def test_report_count_by_rule(self, checker):
+        pattern = pattern_from([[1, 0, 1]], [10, 10, 380], [400])
+        report = checker.check_pattern(pattern)
+        assert report.count() == report.count("width") + report.count("space") + report.count("area") + report.count("bowtie")
+
+    def test_legality_rate(self, checker):
+        clean = pattern_from([[0, 0], [0, 1]], [200, 200], [200, 200])
+        dirty = pattern_from([[1, 0]], [5, 395], [400])
+        assert checker.legality_rate([clean, dirty]) == pytest.approx(0.5)
+
+    def test_legality_rate_empty_library(self, checker):
+        assert checker.legality_rate([]) == 0.0
+
+    def test_check_layout_equivalent_to_pattern(self, checker):
+        pattern = pattern_from([[0, 1, 0]], [100, 200, 100], [400])
+        layout = pattern.to_layout()
+        assert checker.is_legal(layout) == checker.is_legal(pattern)
+
+    def test_canonicalisation_prevents_false_width_violations(self, checker):
+        # The same physical shape split across two adjacent identical columns
+        # must not be flagged even though each split interval is narrow.
+        topo = [[0, 1, 1, 0]]
+        pattern = pattern_from(topo, [100, 20, 180, 100], [400])
+        assert checker.is_legal(pattern)
+
+    def test_drc_report_dataclass_defaults(self):
+        report = DRCReport()
+        assert report.clean
+        assert report.count() == 0

@@ -1,0 +1,144 @@
+"""Unit tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    component_areas,
+    component_cell_indices,
+    connected_components,
+    grid_to_rects,
+    has_bowtie,
+    runs_of_value,
+    validate_grid,
+)
+
+
+class TestValidateGrid:
+    def test_accepts_binary(self):
+        out = validate_grid([[0, 1], [1, 0]])
+        assert out.dtype == np.uint8
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            validate_grid([[0, 2], [1, 0]])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            validate_grid([0, 1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_grid(np.zeros((0, 3)))
+
+
+class TestConnectedComponents:
+    def test_empty_grid_has_zero_components(self):
+        labels, count = connected_components(np.zeros((4, 4), dtype=np.uint8))
+        assert count == 0
+        assert labels.sum() == 0
+
+    def test_single_block(self):
+        grid = np.zeros((4, 4), dtype=np.uint8)
+        grid[1:3, 1:3] = 1
+        labels, count = connected_components(grid)
+        assert count == 1
+        assert (labels[1:3, 1:3] == 1).all()
+
+    def test_two_separate_blocks(self):
+        grid = np.zeros((5, 5), dtype=np.uint8)
+        grid[0, 0] = 1
+        grid[4, 4] = 1
+        _, count = connected_components(grid)
+        assert count == 2
+
+    def test_diagonal_cells_are_not_connected(self):
+        grid = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        _, count = connected_components(grid)
+        assert count == 2
+
+    def test_l_shape_is_single_component(self):
+        grid = np.array([[1, 0, 0], [1, 0, 0], [1, 1, 1]], dtype=np.uint8)
+        _, count = connected_components(grid)
+        assert count == 1
+
+    def test_component_cell_indices(self):
+        grid = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        labels, _ = connected_components(grid)
+        cells = component_cell_indices(labels, 1)
+        assert sorted(cells) == [(0, 0), (1, 0)]
+
+
+class TestBowtie:
+    def test_main_diagonal_bowtie(self):
+        assert has_bowtie(np.array([[1, 0], [0, 1]], dtype=np.uint8))
+
+    def test_anti_diagonal_bowtie(self):
+        assert has_bowtie(np.array([[0, 1], [1, 0]], dtype=np.uint8))
+
+    def test_full_block_is_not_bowtie(self):
+        assert not has_bowtie(np.ones((2, 2), dtype=np.uint8))
+
+    def test_l_corner_is_not_bowtie(self):
+        assert not has_bowtie(np.array([[1, 0], [1, 1]], dtype=np.uint8))
+
+    def test_embedded_bowtie_detected(self):
+        grid = np.zeros((6, 6), dtype=np.uint8)
+        grid[2, 2] = 1
+        grid[3, 3] = 1
+        assert has_bowtie(grid)
+
+    def test_separated_shapes_no_bowtie(self):
+        grid = np.zeros((6, 6), dtype=np.uint8)
+        grid[0:2, 0:2] = 1
+        grid[4:6, 4:6] = 1
+        assert not has_bowtie(grid)
+
+
+class TestRuns:
+    def test_runs_of_ones(self):
+        line = np.array([1, 1, 0, 1, 0, 1, 1, 1])
+        assert list(runs_of_value(line, 1)) == [(0, 1), (3, 3), (5, 7)]
+
+    def test_runs_of_zeros(self):
+        line = np.array([1, 0, 0, 1])
+        assert list(runs_of_value(line, 0)) == [(1, 2)]
+
+    def test_runs_all_same(self):
+        assert list(runs_of_value(np.ones(4), 1)) == [(0, 3)]
+
+    def test_runs_none(self):
+        assert list(runs_of_value(np.zeros(4), 1)) == []
+
+
+class TestGridToRects:
+    def test_simple_rectangle(self):
+        grid = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        rects = grid_to_rects(grid, [10, 20], [5, 5])
+        assert len(rects) == 2  # one merged run per row
+        assert rects[0].width == 30
+
+    def test_origin_offset(self):
+        grid = np.array([[1]], dtype=np.uint8)
+        rect = grid_to_rects(grid, [10], [10], origin=(100, 200))[0]
+        assert (rect.x1, rect.y1, rect.x2, rect.y2) == (100, 200, 110, 210)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            grid_to_rects(np.ones((2, 2), dtype=np.uint8), [1], [1, 1])
+
+    def test_nonpositive_delta_raises(self):
+        with pytest.raises(ValueError):
+            grid_to_rects(np.ones((1, 1), dtype=np.uint8), [0], [1])
+
+
+class TestComponentAreas:
+    def test_areas_with_nonuniform_grid(self):
+        grid = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        areas = component_areas(grid, dx=[10, 20], dy=[5, 8])
+        assert sorted(areas) == [50, 160]
+
+    def test_total_area_matches_cells(self):
+        grid = np.ones((3, 3), dtype=np.uint8)
+        areas = component_areas(grid, dx=[10, 10, 10], dy=[10, 10, 10])
+        assert areas == [900]

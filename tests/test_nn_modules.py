@@ -1,0 +1,231 @@
+"""Unit tests for the module system, layers, optimisers and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Conv2d,
+    Dropout,
+    Embedding,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    SiLU,
+    Tensor,
+    clip_grad_norm,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.act = SiLU()
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestModuleSystem:
+    def test_parameter_registration_recursive(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5), Linear(2, 2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((3, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net = TinyNet()
+        state = net.state_dict()
+        other = TinyNet()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        net = TinyNet()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(net, path)
+        other = TinyNet()
+        load_checkpoint(other, path)
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        np.testing.assert_allclose(net(x).numpy(), other(x).numpy())
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((7, 5), dtype=np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_linear_without_bias(self):
+        layer = Linear(5, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_conv2d_output_shape(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_groupnorm_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 8)
+
+    def test_groupnorm_identity_stats(self):
+        layer = GroupNorm(2, 4)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3, 3)).astype(np.float32))
+        out = layer(x).numpy()
+        assert abs(out.mean()) < 0.1
+
+    def test_layernorm_shape(self):
+        layer = LayerNorm(6)
+        out = layer(Tensor(np.ones((2, 5, 6), dtype=np.float32)))
+        assert out.shape == (2, 5, 6)
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.arange(4, dtype=np.float32))
+        assert np.array_equal(Identity()(x).numpy(), x.numpy())
+
+    def test_embedding_lookup_and_range_check(self):
+        layer = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = layer(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        with pytest.raises(IndexError):
+            layer(np.array([10]))
+
+    def test_dropout_respects_training_flag(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+        layer.train()
+        assert (layer(x).numpy() == 0.0).any()
+
+
+class TestOptimisers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        param = Parameter(np.zeros(2, dtype=np.float32))
+
+        def loss_fn():
+            diff = param - Tensor(target)
+            return (diff * diff).sum()
+
+        return param, target, loss_fn
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_sgd_momentum_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=5e-2)
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        param = Parameter(np.full(4, 10.0, dtype=np.float32))
+        opt = Adam([param], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            loss = (param * 0.0).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data).max() < 10.0
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_clip_grad_norm_scales_down(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        param.grad = np.array([3.0, 4.0, 0.0], dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-4)
+
+    def test_clip_grad_norm_no_scale_when_small(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+
+class TestTraining:
+    def test_small_network_fits_nonlinear_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 4)).astype(np.float32)
+        y = np.tanh(x[:, :1] * 2.0 - x[:, 1:2]).astype(np.float32)
+        net = Sequential(
+            Linear(4, 16, rng=rng), SiLU(), Linear(16, 1, rng=rng)
+        )
+        opt = Adam(net.parameters(), lr=1e-2)
+        first_loss = None
+        for _ in range(300):
+            pred = net(Tensor(x))
+            diff = pred - Tensor(y)
+            loss = (diff * diff).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.2

@@ -1,0 +1,75 @@
+"""Unit tests for the topology pre-filter."""
+
+import numpy as np
+import pytest
+
+from repro.prefilter import PrefilterConfig, TopologyPrefilter
+
+
+@pytest.fixture
+def prefilter():
+    return TopologyPrefilter()
+
+
+class TestRejectReasons:
+    def test_accepts_valid_topology(self, prefilter, two_shape_topology):
+        assert prefilter.accepts(two_shape_topology)
+        assert prefilter.reject_reason(two_shape_topology) is None
+
+    def test_rejects_empty(self, prefilter):
+        assert prefilter.reject_reason(np.zeros((4, 4), dtype=np.uint8)) == "empty"
+
+    def test_rejects_full(self, prefilter):
+        assert prefilter.reject_reason(np.ones((4, 4), dtype=np.uint8)) == "full"
+
+    def test_rejects_bowtie(self, prefilter):
+        topo = np.zeros((4, 4), dtype=np.uint8)
+        topo[1, 1] = 1
+        topo[2, 2] = 1
+        assert prefilter.reject_reason(topo) == "bowtie"
+
+    def test_checks_can_be_disabled(self):
+        relaxed = TopologyPrefilter(
+            PrefilterConfig(reject_bowties=False, reject_empty=False, reject_full=False)
+        )
+        assert relaxed.accepts(np.zeros((4, 4), dtype=np.uint8))
+        assert relaxed.accepts(np.ones((4, 4), dtype=np.uint8))
+
+    def test_max_polygons_limit(self):
+        limited = TopologyPrefilter(PrefilterConfig(max_polygons=1))
+        topo = np.zeros((5, 5), dtype=np.uint8)
+        topo[0, 0] = 1
+        topo[4, 4] = 1
+        assert limited.reject_reason(topo) == "too_many_polygons"
+
+    def test_single_cell_polygon_rejection_opt_in(self, two_shape_topology):
+        topo = two_shape_topology.copy()
+        topo[0, 7] = 0
+        topo[7, 0] = 1  # isolated single cell, not corner-adjacent to others
+        default = TopologyPrefilter()
+        strict = TopologyPrefilter(PrefilterConfig(reject_single_cell_polygons=True))
+        assert default.accepts(topo)
+        assert strict.reject_reason(topo) == "single_cell_polygon"
+
+    def test_rejects_invalid_grid(self, prefilter):
+        with pytest.raises(ValueError):
+            prefilter.accepts(np.full((2, 2), 3))
+
+
+class TestBatchFiltering:
+    def test_filter_splits_kept_and_rejected(self, prefilter, two_shape_topology):
+        bowtie = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        result = prefilter.filter([two_shape_topology, bowtie, np.zeros((3, 3), dtype=np.uint8)])
+        assert len(result.kept) == 1
+        assert len(result.rejected) == 2
+        assert sorted(result.reasons) == ["bowtie", "empty"]
+
+    def test_keep_and_reject_rates(self, prefilter, two_shape_topology):
+        result = prefilter.filter([two_shape_topology, np.zeros((2, 2), dtype=np.uint8)])
+        assert result.keep_rate == pytest.approx(0.5)
+        assert result.reject_rate == pytest.approx(0.5)
+
+    def test_empty_batch(self, prefilter):
+        result = prefilter.filter([])
+        assert result.keep_rate == 0.0
+        assert result.kept == [] and result.rejected == []

@@ -1,0 +1,146 @@
+"""Unit tests for the squish pattern representation and padding."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Layout, Rect, RectilinearPolygon
+from repro.squish import (
+    PaddingError,
+    SquishPattern,
+    canonicalize,
+    empty_pattern,
+    pad_to_size,
+    squish,
+    unsquish,
+    window_of,
+)
+
+
+def _sample_layout() -> Layout:
+    window = Rect(0, 0, 1000, 1000)
+    polys = [
+        RectilinearPolygon([Rect(100, 100, 300, 200)]),
+        RectilinearPolygon([Rect(500, 400, 600, 900)]),
+    ]
+    return Layout(window, polys)
+
+
+class TestSquishPattern:
+    def test_validation_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SquishPattern(np.zeros((2, 3), dtype=np.uint8), [1, 2], [1, 2])
+
+    def test_validation_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            SquishPattern(np.zeros((1, 1), dtype=np.uint8), [0], [1])
+
+    def test_validation_non_binary_topology(self):
+        with pytest.raises(ValueError):
+            SquishPattern(np.full((1, 1), 3), [1], [1])
+
+    def test_width_height(self):
+        pattern = SquishPattern(np.zeros((2, 3), dtype=np.uint8), [10, 20, 30], [5, 5])
+        assert pattern.width == 60
+        assert pattern.height == 10
+        assert window_of(pattern) == Rect(0, 0, 60, 10)
+
+    def test_empty_pattern_helper(self):
+        pattern = empty_pattern(size_nm=512, cells=8)
+        assert pattern.width == 512
+        assert pattern.topology.sum() == 0
+
+    def test_empty_pattern_helper_rejects_nondivisible(self):
+        with pytest.raises(ValueError):
+            empty_pattern(size_nm=100, cells=3)
+
+
+class TestSquishRoundtrip:
+    def test_encode_decode_is_lossless(self):
+        layout = _sample_layout()
+        pattern = squish(layout)
+        decoded = unsquish(pattern)
+        original = sorted((r.x1, r.y1, r.x2, r.y2) for r in layout.all_rects())
+        recovered = sorted((r.x1, r.y1, r.x2, r.y2) for r in decoded.all_rects())
+        assert original == recovered
+
+    def test_window_preserved(self):
+        layout = _sample_layout()
+        pattern = squish(layout)
+        assert pattern.width == layout.window.width
+        assert pattern.height == layout.window.height
+
+    def test_with_geometry_keeps_topology(self):
+        layout = _sample_layout()
+        pattern = squish(layout)
+        new = pattern.with_geometry(pattern.delta_x + 0, pattern.delta_y + 0)
+        assert np.array_equal(new.topology, pattern.topology)
+        assert new.is_equivalent_to(pattern)
+
+    def test_equivalence_detects_difference(self):
+        layout = _sample_layout()
+        pattern = squish(layout)
+        other_topo = pattern.topology.copy()
+        other_topo[0, 0] ^= 1
+        other = SquishPattern(other_topo, pattern.delta_x, pattern.delta_y)
+        assert not pattern.is_equivalent_to(other)
+
+
+class TestPadding:
+    def test_pad_preserves_geometry(self):
+        layout = _sample_layout()
+        pattern = squish(layout)
+        padded = pad_to_size(pattern, 16)
+        assert padded.topology.shape == (16, 16)
+        assert padded.is_equivalent_to(pattern)
+
+    def test_pad_preserves_total_size(self):
+        pattern = squish(_sample_layout())
+        padded = pad_to_size(pattern, 12)
+        assert padded.width == pattern.width
+        assert padded.height == pattern.height
+
+    def test_pad_impossible_when_too_many_scanlines(self):
+        topo = np.eye(6, dtype=np.uint8)
+        # use interval length 1 so no further split is possible
+        pattern = SquishPattern(topo, np.ones(6, dtype=np.int64), np.ones(6, dtype=np.int64))
+        with pytest.raises(PaddingError):
+            pad_to_size(pattern, 8)
+
+    def test_lossless_reduction_merges_identical_columns(self):
+        topo = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        pattern = SquishPattern(topo, np.array([5, 5, 5, 5]), np.array([10]))
+        reduced = pad_to_size(pattern, 2)
+        assert reduced.topology.shape[1] == 2
+        assert reduced.is_equivalent_to(pattern)
+
+    def test_impossible_reduction_raises(self):
+        topo = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        pattern = SquishPattern(topo, np.array([5, 5, 5, 5]), np.array([10]))
+        with pytest.raises(PaddingError):
+            pad_to_size(pattern, 2)
+
+    def test_invalid_size(self):
+        pattern = empty_pattern(64, 4)
+        with pytest.raises(ValueError):
+            pad_to_size(pattern, 0)
+
+
+class TestCanonicalize:
+    def test_removes_redundant_scanlines(self):
+        pattern = squish(_sample_layout())
+        padded = pad_to_size(pattern, 16)
+        canonical = canonicalize(padded)
+        assert canonical.topology.shape == canonicalize(pattern).topology.shape
+        assert canonical.is_equivalent_to(pattern)
+
+    def test_canonical_form_is_fixed_point(self):
+        pattern = squish(_sample_layout())
+        canonical = canonicalize(pattern)
+        again = canonicalize(canonical)
+        assert np.array_equal(canonical.topology, again.topology)
+
+    def test_canonicalize_uniform_pattern(self):
+        pattern = empty_pattern(64, 4)
+        canonical = canonicalize(pattern)
+        assert canonical.topology.shape == (1, 1)
+        assert canonical.width == 64
