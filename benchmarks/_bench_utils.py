@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -11,13 +12,25 @@ if str(_SRC) not in sys.path:
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-#: Scale of the benchmark run.  These values give a clearly-learning model in
-#: a few minutes of CPU time; the paper-scale configuration is
+#: Fast mode (``REPRO_BENCH_FAST=1``) shrinks every scale constant so each
+#: benchmark file finishes in seconds — it is what the CI smoke job runs.
+#: The numbers it produces are *not* meaningful reproductions, only proof
+#: that every harness still executes end to end.
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "").strip().lower() in ("1", "true", "yes")
+
+#: Scale of the benchmark run.  The default values give a clearly-learning
+#: model in a few minutes of CPU time; the paper-scale configuration is
 #: ``DiffPatternConfig.paper()`` and is documented in EXPERIMENTS.md.
-TRAIN_ITERATIONS = 900
-TRAIN_PATTERNS = 256
-DIFFUSION_STEPS = 32
-NUM_GENERATED = 24
+if FAST_MODE:
+    TRAIN_ITERATIONS = 30
+    TRAIN_PATTERNS = 48
+    DIFFUSION_STEPS = 8
+    NUM_GENERATED = 8
+else:
+    TRAIN_ITERATIONS = 900
+    TRAIN_PATTERNS = 256
+    DIFFUSION_STEPS = 32
+    NUM_GENERATED = 24
 
 
 def write_result(name: str, text: str) -> Path:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn import Adam, Conv2d, Linear, Module, Sequential, SiLU, Tensor
+from ..nn import Adam, Conv2d, Linear, Module, SiLU, Tensor
 from ..nn import functional as F
 from ..utils import as_rng
 from .base import TopologyGenerator, validate_matrices

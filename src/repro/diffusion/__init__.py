@@ -10,6 +10,7 @@ from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
 from .transition import (
     DiscreteTransitionModel,
     binary_flip_probability,
+    categorical_from_uniforms,
     one_hot,
     sample_categorical,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "cosine_schedule",
     "DiscreteTransitionModel",
     "sample_categorical",
+    "categorical_from_uniforms",
     "one_hot",
     "binary_flip_probability",
     "DiffusionConfig",

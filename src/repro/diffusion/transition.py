@@ -43,6 +43,9 @@ class DiscreteTransitionModel:
         self.kind = kind
         self._q = self._build_single_step()
         self._q_bar = self._build_cumulative(self._q)
+        # Per-step posterior lookup tables, built lazily: entry (k, dtype)
+        # holds the (S_xk, S_x0, S_prev) array of :meth:`posterior_table`.
+        self._posterior_tables: dict[tuple[int, str], np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # matrix construction
@@ -130,6 +133,31 @@ class DiscreteTransitionModel:
     # ------------------------------------------------------------------ #
     # posteriors
     # ------------------------------------------------------------------ #
+    def posterior_table(self, k: int, dtype: "np.dtype | type" = np.float64) -> np.ndarray:
+        """Cached posterior lookup table for step ``k``.
+
+        ``table[v, i, s] = q(x_{k-1}=s | x_k=v, x_0=i)`` — a ``(S, S, S)``
+        array that turns the per-pixel posterior computation into a single
+        fancy-index gather.  Built once per step and reused by every training
+        iteration and every reverse-sampling step, which is what makes the
+        batched sampler's mixing phase cheap.  ``dtype=np.float32`` gives the
+        sampling engine a lower-precision variant that halves the memory
+        traffic of the per-step mixing einsum.
+        """
+        key = (k, np.dtype(dtype).str)
+        table = self._posterior_tables.get(key)
+        if table is None:
+            q_k = self.q_matrix(k)
+            q_bar_prev = self.q_bar_matrix(k - 1)
+            q_bar_k = self.q_bar_matrix(k)
+            # numerator[v, i, s] = Q_k[s, v] * Q̄_{k-1}[i, s]
+            numerator = q_k.T[:, None, :] * q_bar_prev[None, :, :]
+            # denominator[v, i] = Q̄_k[i, v]
+            table = (numerator / q_bar_k.T[:, :, None]).astype(dtype, copy=False)
+            table.setflags(write=False)
+            self._posterior_tables[key] = table
+        return table
+
     def posterior_probs(self, xk: np.ndarray, x0: np.ndarray, k: int) -> np.ndarray:
         """Forward posterior ``q(x_{k-1} | x_k, x_0)`` (Eq. 12).
 
@@ -140,13 +168,7 @@ class DiscreteTransitionModel:
         x0 = self._validate_states(x0)
         if xk.shape != x0.shape:
             raise ValueError("xk and x0 must have the same shape")
-        q_k = self.q_matrix(k)
-        q_bar_prev = self.q_bar_matrix(k - 1)
-        q_bar_k = self.q_bar_matrix(k)
-        # numerator[s] = Q_k[s, xk] * Q̄_{k-1}[x0, s]
-        numerator = q_k.T[xk] * q_bar_prev[x0]
-        denominator = q_bar_k[x0, xk]
-        return numerator / denominator[..., None]
+        return self.posterior_table(k)[xk, x0]
 
     def posterior_probs_all_x0(self, xk: np.ndarray, k: int) -> np.ndarray:
         """``q(x_{k-1} | x_k, x_0 = i)`` for every possible clean state ``i``.
@@ -157,17 +179,7 @@ class DiscreteTransitionModel:
         ``p_θ(x_{k-1} | x_k)`` (Eq. 11).
         """
         xk = self._validate_states(xk)
-        q_k = self.q_matrix(k)
-        q_bar_prev = self.q_bar_matrix(k - 1)
-        q_bar_k = self.q_bar_matrix(k)
-        size = self.num_states
-        likelihood = q_k.T[xk]  # shape xk.shape + (S,) over x_{k-1}
-        result = np.empty(xk.shape + (size, size), dtype=np.float64)
-        for clean_state in range(size):
-            numerator = likelihood * q_bar_prev[clean_state]
-            denominator = q_bar_k[clean_state][xk]
-            result[..., clean_state, :] = numerator / denominator[..., None]
-        return result
+        return self.posterior_table(k)[xk]
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -186,11 +198,22 @@ class DiscreteTransitionModel:
 
 def sample_categorical(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
     """Sample integer states from categorical distributions over the last axis."""
+    uniforms = rng.random(np.asarray(probs).shape[:-1])
+    return categorical_from_uniforms(probs, uniforms)
+
+
+def categorical_from_uniforms(probs: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Invert categorical CDFs at pre-drawn uniforms (over the last axis).
+
+    Splitting the random draw from the inversion lets callers control the
+    uniform stream per sample — the batched sampling engine uses one
+    deterministic stream per sample index so a batch of any size reproduces
+    the sequential sampler bit for bit.
+    """
     probs = np.asarray(probs, dtype=np.float64)
     cumulative = probs.cumsum(axis=-1)
     cumulative /= cumulative[..., -1:]
-    uniforms = rng.random(probs.shape[:-1] + (1,))
-    return (uniforms > cumulative).sum(axis=-1).astype(np.int64)
+    return (np.asarray(uniforms)[..., None] > cumulative).sum(axis=-1).astype(np.int64)
 
 
 def one_hot(states: np.ndarray, num_states: int) -> np.ndarray:

@@ -25,7 +25,18 @@ from .modules import (
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .serialization import load_checkpoint, save_checkpoint
-from .tensor import Tensor, concatenate, ones, randn, stack, tensor, zeros
+from .tensor import (
+    Tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    set_grad_enabled,
+    stack,
+    tensor,
+    zeros,
+)
 from .unet import UNet, UNetConfig
 
 __all__ = [
@@ -37,6 +48,9 @@ __all__ = [
     "randn",
     "concatenate",
     "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
     "Module",
     "Parameter",
     "Sequential",

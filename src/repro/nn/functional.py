@@ -7,9 +7,25 @@ normalisation, stable softmax / log-softmax, categorical losses and dropout.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
-from .tensor import Tensor, _DTYPE
+from .tensor import Tensor, _DTYPE, is_grad_enabled
+
+
+def _pad2d(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial axes of ``(N, C, H, W)``.
+
+    Equivalent to ``np.pad`` with constant zeros but substantially cheaper on
+    the small feature maps this library works with.
+    """
+    if pad == 0:
+        return x
+    n, c, h, w = x.shape
+    out = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+    out[:, :, pad : pad + h, pad : pad + w] = x
+    return out
 
 
 # ---------------------------------------------------------------------- #
@@ -24,8 +40,7 @@ def _im2col(
     ``(N, C*kh*kw, out_h*out_w)``.
     """
     n, c, h, w = x.shape
-    if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    x = _pad2d(x, pad)
     hp, wp = x.shape[2], x.shape[3]
     out_h = (hp - kh) // stride + 1
     out_w = (wp - kw) // stride + 1
@@ -102,7 +117,7 @@ def conv2d(
             grad_x = _col2im(grad_cols, (n, c, h, w), kh, kw, stride, padding)
             x._accumulate(grad_x)
 
-    requires = any(p.requires_grad for p in parents)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     return Tensor(
         out,
         requires_grad=requires,
@@ -131,11 +146,12 @@ def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
         grad_x = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
         x._accumulate(grad_x)
 
+    requires = is_grad_enabled() and x.requires_grad
     return Tensor(
         out_data,
-        requires_grad=x.requires_grad,
-        _parents=(x,) if x.requires_grad else (),
-        _backward_fn=backward_fn if x.requires_grad else None,
+        requires_grad=requires,
+        _parents=(x,) if requires else (),
+        _backward_fn=backward_fn if requires else None,
     )
 
 
@@ -225,12 +241,169 @@ def dropout(
     def backward_fn(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
+    requires = is_grad_enabled() and x.requires_grad
     return Tensor(
         x.data * mask,
-        requires_grad=x.requires_grad,
-        _parents=(x,) if x.requires_grad else (),
-        _backward_fn=backward_fn if x.requires_grad else None,
+        requires_grad=requires,
+        _parents=(x,) if requires else (),
+        _backward_fn=backward_fn if requires else None,
     )
+
+
+# ---------------------------------------------------------------------- #
+# gradient-free array kernels (inference hot path)
+# ---------------------------------------------------------------------- #
+# The functions below are array-in / array-out twins of the differentiable
+# operators above.  They never touch the autodiff tape: no Tensor wrappers,
+# no backward closures, contiguous float32 throughout, and matmul instead of
+# einsum (which re-derives a contraction path on every call).  The batched
+# sampling engine runs the whole U-Net through these.
+
+
+def conv2d_array(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: "np.ndarray | None" = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Gradient-free twin of :func:`conv2d` on plain arrays."""
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if ic != c:
+        raise ValueError(f"weight expects {ic} input channels, got {c}")
+    if kh == 1 and kw == 1 and stride == 1 and padding == 0:
+        # Pointwise convolution (attention qkv/proj, skip projections) is a
+        # plain channel matmul; skip the im2col rearrangement entirely.
+        out = np.matmul(weight.reshape(oc, c), x.reshape(n, c, h * w))
+        if bias is not None:
+            out += bias.reshape(1, oc, 1)
+        return out.reshape(n, oc, h, w)
+    out_h, out_w, taps = _conv_tap_geometry(h, w, kh, kw, stride, padding)
+    # Gather the kh*kw patch taps with strided slice copies: on the small
+    # feature maps of this model that beats materialising the 6-D as_strided
+    # view that the taped conv uses (it needs the view for the backward).
+    # Padding is folded into the gather — border taps copy only the valid
+    # sub-window of the *unpadded* input into a zeroed column buffer, so no
+    # padded copy of the input is ever materialised.
+    if padding:
+        cols = np.zeros((n, c, kh * kw, out_h, out_w), dtype=x.dtype)
+    else:
+        cols = np.empty((n, c, kh * kw, out_h, out_w), dtype=x.dtype)
+    for tap, dst_rows, dst_cols, src_rows, src_cols in taps:
+        cols[:, :, tap, dst_rows, dst_cols] = x[:, :, src_rows, src_cols]
+    out = np.matmul(weight.reshape(oc, -1), cols.reshape(n, c * kh * kw, out_h * out_w))
+    if bias is not None:
+        out += bias.reshape(1, oc, 1)
+    return out.reshape(n, oc, out_h, out_w)
+
+
+@functools.lru_cache(maxsize=256)
+def _conv_tap_geometry(
+    h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> tuple[int, int, tuple]:
+    """Precomputed slice pairs mapping input windows to im2col tap planes.
+
+    Returns ``(out_h, out_w, taps)`` where each tap entry is
+    ``(tap_index, dst_row_slice, dst_col_slice, src_row_slice, src_col_slice)``
+    restricted to the region where the (virtually padded) window overlaps the
+    real input.  Cached because the sampler calls the same few convolution
+    geometries thousands of times.
+    """
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    taps = []
+    for i in range(kh):
+        off_i = i - padding
+        r0 = 0 if off_i >= 0 else (-off_i + stride - 1) // stride
+        r1 = min((h - 1 - off_i) // stride, out_h - 1)
+        if r1 < r0:
+            continue
+        for j in range(kw):
+            off_j = j - padding
+            c0 = 0 if off_j >= 0 else (-off_j + stride - 1) // stride
+            c1 = min((w - 1 - off_j) // stride, out_w - 1)
+            if c1 < c0:
+                continue
+            taps.append(
+                (
+                    i * kw + j,
+                    slice(r0, r1 + 1),
+                    slice(c0, c1 + 1),
+                    slice(off_i + stride * r0, off_i + stride * r1 + 1, stride),
+                    slice(off_j + stride * c0, off_j + stride * c1 + 1, stride),
+                )
+            )
+    return out_h, out_w, tuple(taps)
+
+
+def silu_array(x: np.ndarray) -> np.ndarray:
+    """``x * sigmoid(x)`` on a plain array (three ufunc passes, one temp)."""
+    out = np.exp(-x)
+    out += 1.0
+    np.divide(x, out, out=out)
+    return out
+
+
+def softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax on a plain array."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def group_norm_array(
+    x: np.ndarray, num_groups: int, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Gradient-free twin of :func:`group_norm` on plain arrays."""
+    n, c, h, w = x.shape
+    if c % num_groups:
+        raise ValueError(f"{c} channels not divisible by {num_groups} groups")
+    grouped = x.reshape(n, num_groups, -1)
+    inv_count = _DTYPE(1.0 / grouped.shape[2])
+    # np.add.reduce is np.sum minus the dispatch wrapper — measurable on the
+    # thousands of small reductions a sampling run performs.  Variance must
+    # be computed from the centred values: the two-moment shortcut
+    # (E[x²] − E[x]²) cancels catastrophically in float32 once a feature map
+    # develops a mean large relative to its spread.
+    mean = np.add.reduce(grouped, axis=2) * inv_count
+    centred = grouped - mean[:, :, None]
+    var = np.add.reduce(centred * centred, axis=2) * inv_count
+    inv_std = 1.0 / np.sqrt(var + eps)  # (n, groups)
+    group_size = c // num_groups
+    # Fold normalisation and the affine transform into one per-channel
+    # scale/shift: out = x * scale + shift.
+    scale = np.repeat(inv_std, group_size, axis=1) * weight  # (n, c)
+    shift = bias - np.repeat(mean, group_size, axis=1) * scale
+    out = x * scale[:, :, None, None]
+    out += shift[:, :, None, None]
+    return out
+
+
+def layer_norm_array(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Gradient-free twin of :func:`layer_norm` on plain arrays."""
+    mean = x.mean(axis=-1, keepdims=True, dtype=_DTYPE)
+    centred = x - mean
+    var = np.mean(centred * centred, axis=-1, keepdims=True, dtype=_DTYPE)
+    return (centred / np.sqrt(var + eps)) * weight + bias
+
+
+def upsample_nearest_array(x: np.ndarray, scale: int = 2) -> np.ndarray:
+    """Gradient-free twin of :func:`upsample_nearest` on plain arrays."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return np.repeat(np.repeat(x, scale, axis=2), scale, axis=3)
+
+
+def linear_array(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None" = None) -> np.ndarray:
+    """Gradient-free twin of :func:`linear` on plain arrays."""
+    out = x @ weight.T
+    if bias is not None:
+        out += bias
+    return out
 
 
 def sinusoidal_embedding(timesteps: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:

@@ -13,7 +13,7 @@ from typing import Iterator
 import numpy as np
 
 from . import functional as F
-from .tensor import Tensor, _DTYPE
+from .tensor import Tensor, _DTYPE, no_grad
 
 
 class Parameter(Tensor):
@@ -106,6 +106,20 @@ class Module:
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
+    # -- inference -------------------------------------------------------- #
+    def infer(self, *args, **kwargs):
+        """Gradient-free array-in / array-out forward pass.
+
+        The generic fallback wraps array arguments in constant tensors and
+        runs :meth:`forward` under :func:`~repro.nn.tensor.no_grad`, so every
+        module has a tape-free path.  Hot-path layers override this with a
+        pure-NumPy kernel that skips the Tensor machinery entirely.
+        """
+        with no_grad():
+            wrapped = [Tensor(a) if isinstance(a, np.ndarray) else a for a in args]
+            out = self.forward(*wrapped, **kwargs)
+        return out.data if isinstance(out, Tensor) else out
+
 
 class Sequential(Module):
     """Run child modules in order."""
@@ -121,11 +135,19 @@ class Sequential(Module):
             x = layer(x)
         return x
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.infer(x)
+        return x
+
 
 class Identity(Module):
     """No-op layer (used for optional skip projections)."""
 
     def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x
 
 
@@ -155,6 +177,9 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.linear_array(x, self.weight.data, None if self.bias is None else self.bias.data)
 
 
 class Conv2d(Module):
@@ -193,6 +218,15 @@ class Conv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d_array(
+            x,
+            self.weight.data,
+            None if self.bias is None else self.bias.data,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
 
 class GroupNorm(Module):
     """Group normalisation with learnable scale/shift."""
@@ -212,6 +246,9 @@ class GroupNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.group_norm(x, self.num_groups, self.weight, self.bias, eps=self.eps)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.group_norm_array(x, self.num_groups, self.weight.data, self.bias.data, eps=self.eps)
+
 
 class LayerNorm(Module):
     """Layer normalisation over the last dimension."""
@@ -226,6 +263,9 @@ class LayerNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.layer_norm_array(x, self.weight.data, self.bias.data, eps=self.eps)
+
 
 class Dropout(Module):
     """Inverted dropout driven by an explicit generator for reproducibility."""
@@ -237,6 +277,10 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.rate, self._rng, training=self.training)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Inference never drops units: identity regardless of training mode.
+        return x
 
 
 class Embedding(Module):
@@ -267,12 +311,21 @@ class SiLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.silu()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.silu_array(x)
+
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
 
 class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))

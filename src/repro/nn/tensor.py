@@ -10,11 +10,44 @@ of PyTorch so the model code reads naturally.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Iterable
 
 import numpy as np
 
 _DTYPE = np.float32
+
+# Global autograd switch.  A single mutable cell (instead of a bare module
+# global) lets the context manager below restore the previous state even when
+# `no_grad` blocks are nested or raise.
+_GRAD_ENABLED: list[bool] = [True]
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record themselves on the autodiff tape."""
+    return _GRAD_ENABLED[0]
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable tape construction (mirrors PyTorch)."""
+    _GRAD_ENABLED[0] = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape construction for inference hot paths.
+
+    Inside the block every operation returns a constant tensor: no parents are
+    retained, no backward closures are allocated, and no gradient buffers can
+    be populated.  Nesting is supported and the previous state is restored on
+    exit, including on exceptions.
+    """
+    previous = _GRAD_ENABLED[0]
+    _GRAD_ENABLED[0] = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED[0] = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -101,7 +134,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED[0] and any(p.requires_grad for p in parents)
         return Tensor(
             data,
             requires_grad=requires,
@@ -408,7 +441,7 @@ def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(start, end)
             t._accumulate(grad[tuple(index)])
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED[0] and any(t.requires_grad for t in tensors)
     return Tensor(
         out_data,
         requires_grad=requires,
@@ -426,7 +459,7 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
         for t, piece in zip(tensors, slices):
             t._accumulate(np.squeeze(piece, axis=axis))
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED[0] and any(t.requires_grad for t in tensors)
     return Tensor(
         out_data,
         requires_grad=requires,

@@ -42,6 +42,11 @@ class TimestepEmbedding(Module):
         hidden = self.dense_in(Tensor(base)).silu()
         return self.dense_out(hidden).silu()
 
+    def infer(self, timesteps: np.ndarray) -> np.ndarray:
+        base = F.sinusoidal_embedding(timesteps, self.model_channels)
+        hidden = F.silu_array(self.dense_in.infer(base))
+        return F.silu_array(self.dense_out.infer(hidden))
+
 
 class ResidualBlock(Module):
     """GroupNorm → SiLU → Conv, with timestep injection and a learned skip."""
@@ -74,6 +79,15 @@ class ResidualBlock(Module):
         hidden = self.conv2(self.dropout(self.norm2(hidden).silu()))
         return hidden + self.skip(x)
 
+    def infer(self, x: np.ndarray, time_emb: np.ndarray) -> np.ndarray:
+        hidden = self.conv1.infer(F.silu_array(self.norm1.infer(x)))
+        time_term = self.time_proj.infer(F.silu_array(time_emb))
+        batch, channels = time_term.shape
+        hidden += time_term.reshape(batch, channels, 1, 1)
+        hidden = self.conv2.infer(F.silu_array(self.norm2.infer(hidden)))
+        hidden += self.skip.infer(x)
+        return hidden
+
 
 class SelfAttention2d(Module):
     """Single-head self-attention over spatial positions of a feature map."""
@@ -98,6 +112,19 @@ class SelfAttention2d(Module):
         out = out.reshape(batch, channels, height, width)
         return x + self.proj(out)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        qkv = self.qkv.infer(self.norm.infer(x))
+        qkv_flat = qkv.reshape(batch, 3, channels, height * width)
+        q = qkv_flat[:, 0]
+        k = qkv_flat[:, 1]
+        v = qkv_flat[:, 2]
+        scale = np.float32(1.0 / np.sqrt(channels))
+        attn = F.softmax_array((q.transpose(0, 2, 1) @ k) * scale, axis=-1)
+        out = v @ attn.transpose(0, 2, 1)
+        out = out.reshape(batch, channels, height, width)
+        return x + self.proj.infer(out)
+
 
 class Downsample(Module):
     """Stride-2 convolution halving the spatial resolution."""
@@ -109,6 +136,9 @@ class Downsample(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.conv(x)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self.conv.infer(x)
+
 
 class Upsample(Module):
     """Nearest-neighbour upsample followed by a 3x3 convolution."""
@@ -119,6 +149,9 @@ class Upsample(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.conv(F.upsample_nearest(x, 2))
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self.conv.infer(F.upsample_nearest_array(x, 2))
 
 
 @dataclass
@@ -237,7 +270,12 @@ class UNet(Module):
         self.up_blocks.append((kind, module))
 
     # -- forward ----------------------------------------------------------- #
-    def forward(self, x_onehot: Tensor, timesteps: np.ndarray) -> Tensor:
+    def forward(
+        self, x_onehot: "Tensor | np.ndarray", timesteps: np.ndarray, inference: bool = False
+    ) -> Tensor:
+        if inference:
+            data = x_onehot.data if isinstance(x_onehot, Tensor) else np.asarray(x_onehot)
+            return Tensor(self.infer(data, timesteps))
         config = self.config
         batch = x_onehot.shape[0]
         time_emb = self.time_embedding(timesteps)
@@ -269,6 +307,58 @@ class UNet(Module):
                 hidden = module(hidden)
 
         out = self.conv_out(self.norm_out(hidden).silu())
+        return out.reshape(
+            batch, config.in_channels, config.num_classes, config.image_size, config.image_size
+        )
+
+    # -- inference ---------------------------------------------------------- #
+    def infer(self, x_onehot: np.ndarray, timesteps: np.ndarray) -> np.ndarray:
+        """Gradient-free forward pass on plain arrays (the sampling hot path).
+
+        Mirrors :meth:`forward` operation by operation but never touches the
+        autodiff tape: dropout is skipped, all intermediates are raw float32
+        arrays, and convolutions run through the matmul-based array kernels.
+        """
+        config = self.config
+        x = np.ascontiguousarray(x_onehot, dtype=np.float32)
+        batch = x.shape[0]
+        steps = np.asarray(timesteps).reshape(-1)
+        if steps.size > 1 and np.all(steps == steps[0]):
+            # Reverse diffusion feeds the whole batch the same timestep.  A
+            # single-row embedding broadcast over the batch is cheaper AND
+            # keeps per-sample results bitwise independent of the batch size
+            # (BLAS picks different kernels for 1-row and N-row matmuls).
+            time_emb = self.time_embedding.infer(steps[:1])
+        else:
+            time_emb = self.time_embedding.infer(steps)
+
+        hidden = self.conv_in.infer(x)
+        skips = [hidden]
+        for kind, module in self.down_blocks:
+            if kind == "res":
+                hidden = module.infer(hidden, time_emb)
+                skips.append(hidden)
+            elif kind == "attn":
+                hidden = module.infer(hidden)
+                skips[-1] = hidden
+            else:  # downsample
+                hidden = module.infer(hidden)
+                skips.append(hidden)
+
+        hidden = self.mid_block1.infer(hidden, time_emb)
+        hidden = self.mid_attn.infer(hidden)
+        hidden = self.mid_block2.infer(hidden, time_emb)
+
+        for kind, module in self.up_blocks:
+            if kind == "res":
+                skip = skips.pop()
+                hidden = module.infer(np.concatenate([hidden, skip], axis=1), time_emb)
+            elif kind == "attn":
+                hidden = module.infer(hidden)
+            else:  # upsample
+                hidden = module.infer(hidden)
+
+        out = self.conv_out.infer(F.silu_array(self.norm_out.infer(hidden)))
         return out.reshape(
             batch, config.in_channels, config.num_classes, config.image_size, config.image_size
         )

@@ -22,6 +22,7 @@ from .efficiency import (
     measure_solving_time,
     run_efficiency_experiment,
 )
+from .sampling_engine import SamplingEngine, SamplingReport, resolve_seed
 from .figures import (
     ComplexityComparison,
     DenoisingChain,
@@ -52,6 +53,9 @@ __all__ = [
     "measure_sampling_time",
     "measure_solving_time",
     "run_efficiency_experiment",
+    "SamplingEngine",
+    "SamplingReport",
+    "resolve_seed",
     "DenoisingChain",
     "run_denoising_chain",
     "patterns_from_single_topology",

@@ -16,9 +16,8 @@ import numpy as np
 from ..baselines.base import TopologyGenerator
 from ..data import LayoutPatternDataset
 from ..drc import DesignRuleChecker
-from ..legalization import DesignRules, Legalizer
-from ..metrics import pattern_complexity, pattern_diversity, topology_diversity
-from ..prefilter import TopologyPrefilter
+from ..legalization import DesignRules
+from ..metrics import pattern_complexity, pattern_diversity
 from ..squish import SquishPattern
 from ..utils import as_rng
 from .diffpattern import DiffPatternPipeline

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from ..data import DatasetConfig
@@ -36,6 +35,10 @@ class DiffPatternConfig:
     dropout: float = 0.1
     train_iterations: int = 200
     batch_size: int = 16
+    #: Chunk size of the batched sampling engine: how many topologies are
+    #: denoised per reverse pass.  Purely a memory/throughput trade-off — the
+    #: generated samples are identical for any value (per-sample seeding).
+    sample_batch_size: int = 32
     seed: int = 0
 
     def __post_init__(self) -> None:

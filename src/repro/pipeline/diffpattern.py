@@ -21,13 +21,14 @@ from ..baselines.base import TopologyGenerator
 from ..data import LayoutPatternDataset
 from ..diffusion import DiscreteDiffusion
 from ..drc import DesignRuleChecker
-from ..legalization import DesignRules, Legalizer
+from ..legalization import Legalizer
 from ..metrics import pattern_diversity, topology_diversity
 from ..nn import UNet
 from ..prefilter import TopologyPrefilter
 from ..squish import SquishPattern, unfold
 from ..utils import as_rng
 from .config import DiffPatternConfig
+from .sampling_engine import SamplingEngine, SamplingReport
 
 
 @dataclass
@@ -58,6 +59,7 @@ class DiffPatternPipeline:
         self.prefilter = TopologyPrefilter(self.config.prefilter)
         self.checker = DesignRuleChecker(self.config.rules)
         self.training_history: list[dict[str, float]] = []
+        self._engine: "SamplingEngine | None" = None
 
     # ------------------------------------------------------------------ #
     # phase 1: data
@@ -105,13 +107,30 @@ class DiffPatternPipeline:
         self.training_history.extend(history)
         return history
 
+    def sampling_engine(self) -> SamplingEngine:
+        """The batched inference engine over the pipeline's diffusion model.
+
+        Built lazily and rebuilt if the underlying model is replaced (e.g. by
+        :meth:`build_model` after a checkpoint load).
+        """
+        if self.diffusion is None:
+            raise RuntimeError("train (or build_model) must be called before sampling")
+        if self._engine is None or self._engine.diffusion is not self.diffusion:
+            self._engine = SamplingEngine(
+                self.diffusion, batch_size=self.config.sample_batch_size
+            )
+        return self._engine
+
+    @property
+    def last_sampling_report(self) -> "SamplingReport | None":
+        """Per-phase throughput of the most recent generation run."""
+        return self._engine.last_report if self._engine is not None else None
+
     def generate_topologies(
         self, count: int, rng: "int | np.random.Generator | None" = None
     ) -> np.ndarray:
         """Sample topology tensors and unfold them into flat matrices."""
-        if self.diffusion is None:
-            raise RuntimeError("train (or build_model) must be called before generation")
-        tensors = self.diffusion.sample(count, rng=rng)
+        tensors = self.sampling_engine().sample(count, seed=rng)
         return np.stack([unfold(t) for t in tensors], axis=0)
 
     # ------------------------------------------------------------------ #

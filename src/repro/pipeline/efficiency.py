@@ -14,13 +14,14 @@ is a relative statement that the harness reproduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..legalization import DesignRules, Legalizer, SolverOptions
 from ..utils import Timer, as_rng
 from .diffpattern import DiffPatternPipeline
+from .sampling_engine import SamplingReport
 
 
 @dataclass
@@ -46,6 +47,9 @@ class EfficiencyReport:
     sampling: EfficiencyRow
     solving_random: EfficiencyRow
     solving_existing: EfficiencyRow
+    #: Per-phase breakdown of the sampling measurement (model forward vs
+    #: posterior mixing), produced by the batched sampling engine.
+    sampling_report: "SamplingReport | None" = field(default=None, repr=False)
 
     @property
     def rows(self) -> list[EfficiencyRow]:
@@ -57,6 +61,10 @@ class EfficiencyReport:
         for row in self.rows:
             accel = "N/A" if np.isnan(row.acceleration) else f"{row.acceleration:.2f}x"
             lines.append(f"{row.phase:<16}{row.seconds_per_sample:>16.4f}{accel:>14}")
+        if self.sampling_report is not None:
+            lines.append("")
+            lines.append("Sampling engine breakdown:")
+            lines.append(self.sampling_report.format())
         return "\n".join(lines)
 
 
@@ -99,6 +107,7 @@ def run_efficiency_experiment(
     """Produce the three rows of Table II."""
     gen = as_rng(rng)
     sampling_seconds = measure_sampling_time(pipeline, num_samples, rng=gen)
+    sampling_report = pipeline.last_sampling_report
     topologies = pipeline.generate_topologies(num_samples, rng=gen)
     kept = pipeline.prefilter.filter(list(topologies)).kept
     if not kept and pipeline.dataset is not None:
@@ -116,5 +125,8 @@ def run_efficiency_experiment(
     return EfficiencyReport(
         sampling=EfficiencyRow("Sampling", sampling_seconds, float("nan")),
         solving_random=EfficiencyRow("Solving-R", solving_r, 1.0),
-        solving_existing=EfficiencyRow("Solving-E", solving_e, solving_r / solving_e if solving_e else float("nan")),
+        solving_existing=EfficiencyRow(
+            "Solving-E", solving_e, solving_r / solving_e if solving_e else float("nan")
+        ),
+        sampling_report=sampling_report,
     )

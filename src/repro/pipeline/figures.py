@@ -68,7 +68,7 @@ def run_denoising_chain(
     """Sample one topology, keeping the intermediate states (Fig. 6)."""
     if pipeline.diffusion is None:
         raise RuntimeError("the pipeline has no trained diffusion model")
-    _, chain = pipeline.diffusion.sample(1, rng=rng, return_chain=True, chain_stride=chain_stride)
+    _, chain = pipeline.sampling_engine().sample_chain(1, seed=rng, chain_stride=chain_stride)
     num_steps = pipeline.config.diffusion.num_steps
     steps = list(range(num_steps, -1, -chain_stride))
     steps = steps[: len(chain)]

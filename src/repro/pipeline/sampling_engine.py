@@ -1,0 +1,309 @@
+"""Batched, gradient-free inference engine for topology-tensor sampling.
+
+:class:`SamplingEngine` is the single entry point the pipeline, the Table II
+efficiency harness and the benchmark scripts use to draw topology tensors
+from a trained :class:`~repro.diffusion.DiscreteDiffusion` model.  It differs
+from calling ``DiscreteDiffusion.sample`` directly in three ways:
+
+* **Gradient-free batched hot path** — every denoising step runs the whole
+  chunk through ``UNet.infer`` (raw float32 arrays, no autodiff tape) and
+  mixes the predicted ``p_θ(x_0 | x_k)`` with cached posterior transition
+  tables, so the per-step cost is a handful of large NumPy kernels instead of
+  thousands of small taped operations.
+
+* **Chunk-invariant determinism** — every sample index owns an independent
+  random stream seeded from ``(seed, index)``.  The result of drawing sample
+  ``i`` is therefore bitwise identical whether it is generated alone, inside
+  a batch of 8, or as part of chunk 3 of a thousand-sample run.  Batched
+  output is element-wise equal to the sequential sampler under the same seed,
+  which is what the parity tests assert.
+
+* **Per-phase throughput accounting** — the engine reports how long was
+  spent in the network (``model``) versus the categorical mixing / RNG work
+  (``mixing``) versus initialisation, plus samples/second, so efficiency
+  regressions show up in the Table II benchmark rather than anecdotes.
+
+The ``batch_size`` knob bounds peak memory: chunks of at most that many
+samples are denoised per reverse pass, without changing any sampled value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..diffusion import DiscreteDiffusion
+from ..diffusion.transition import categorical_from_uniforms
+from ..nn import no_grad
+
+
+def resolve_seed(rng: "int | np.random.Generator | None") -> int:
+    """Collapse the library's ``rng``-like arguments into one integer seed.
+
+    Integers pass through, ``None`` draws a fresh random seed, and an
+    existing Generator contributes one draw from its stream (so pipelines
+    that thread a shared generator stay reproducible end to end).
+    """
+    if rng is None:
+        return int(np.random.default_rng().integers(0, 2**63))
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63))
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a seed")
+
+
+@dataclass
+class SamplingReport:
+    """Per-phase throughput of one :class:`SamplingEngine` run."""
+
+    num_samples: int
+    num_steps: int
+    batch_size: int
+    num_chunks: int
+    total_seconds: float = 0.0
+    model_seconds: float = 0.0
+    mixing_seconds: float = 0.0
+    init_seconds: float = 0.0
+
+    @property
+    def seconds_per_sample(self) -> float:
+        return self.total_seconds / self.num_samples if self.num_samples else 0.0
+
+    @property
+    def samples_per_second(self) -> float:
+        return self.num_samples / self.total_seconds if self.total_seconds else float("inf")
+
+    @property
+    def model_fraction(self) -> float:
+        """Share of wall-clock spent inside the denoising network."""
+        return self.model_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def format(self) -> str:
+        lines = [
+            f"samples            {self.num_samples} "
+            f"(chunks of <= {self.batch_size}, {self.num_chunks} chunk(s), "
+            f"{self.num_steps} steps)",
+            f"total              {self.total_seconds:.4f} s "
+            f"({self.samples_per_second:.2f} samples/s, "
+            f"{self.seconds_per_sample:.4f} s/sample)",
+            f"  model forward    {self.model_seconds:.4f} s ({self.model_fraction:.0%})",
+            f"  posterior mixing {self.mixing_seconds:.4f} s",
+            f"  initialisation   {self.init_seconds:.4f} s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _ChainRecorder:
+    """Collects intermediate states of the reverse chain (Fig. 6)."""
+
+    stride: int
+    num_steps: int
+    states: list[np.ndarray] = field(default_factory=list)
+
+    def record_initial(self, xk: np.ndarray) -> None:
+        self.states.append(xk.copy())
+
+    def maybe_record(self, xk: np.ndarray, step: int) -> None:
+        if (self.num_steps - step) % self.stride == 0 or step == 1:
+            self.states.append(xk.copy())
+
+    def record_final(self, xk: np.ndarray) -> None:
+        self.states.append(xk.copy())
+
+
+class SamplingEngine:
+    """Chunked, deterministic, gradient-free reverse-diffusion sampler."""
+
+    def __init__(
+        self,
+        diffusion: DiscreteDiffusion,
+        batch_size: int = 32,
+        inference: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.diffusion = diffusion
+        self.batch_size = int(batch_size)
+        #: ``False`` routes the network through the taped forward pass —
+        #: slower, used only to cross-check the array kernels.
+        self.inference = inference
+        self.last_report: "SamplingReport | None" = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        num_samples: int,
+        seed: "int | np.random.Generator | None" = 0,
+        greedy_final: bool = True,
+        batch_size: "int | None" = None,
+    ) -> np.ndarray:
+        """Draw ``num_samples`` topology tensors; shape ``(N, C, M, M)``."""
+        samples, _ = self.sample_with_report(
+            num_samples, seed=seed, greedy_final=greedy_final, batch_size=batch_size
+        )
+        return samples
+
+    def sample_with_report(
+        self,
+        num_samples: int,
+        seed: "int | np.random.Generator | None" = 0,
+        greedy_final: bool = True,
+        batch_size: "int | None" = None,
+    ) -> tuple[np.ndarray, SamplingReport]:
+        """Like :meth:`sample` but also returns the per-phase throughput."""
+        samples, _, report = self._run(
+            num_samples,
+            seed=seed,
+            greedy_final=greedy_final,
+            batch_size=batch_size,
+            recorder=None,
+        )
+        return samples, report
+
+    def sample_chain(
+        self,
+        num_samples: int = 1,
+        seed: "int | np.random.Generator | None" = 0,
+        chain_stride: int = 1,
+        greedy_final: bool = True,
+        batch_size: "int | None" = None,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Sample and keep the intermediate chain states (for Fig. 6).
+
+        Returns ``(samples, chain)`` where ``chain`` is a list of
+        ``(N, C, M, M)`` states starting at ``x_K`` and ending at the final
+        sample, recorded every ``chain_stride`` steps.
+        """
+        recorder_stride = max(1, int(chain_stride))
+        samples, chains, _ = self._run(
+            num_samples,
+            seed=seed,
+            greedy_final=greedy_final,
+            batch_size=batch_size,
+            recorder=recorder_stride,
+        )
+        return samples, chains
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _run(
+        self,
+        num_samples: int,
+        seed: "int | np.random.Generator | None",
+        greedy_final: bool,
+        batch_size: "int | None",
+        recorder: "int | None",
+    ) -> tuple[np.ndarray, list[np.ndarray], SamplingReport]:
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        base_seed = resolve_seed(seed)
+        chunk_size = self.batch_size if batch_size is None else max(1, int(batch_size))
+        num_steps = self.diffusion.config.num_steps
+        num_chunks = (num_samples + chunk_size - 1) // chunk_size
+        report = SamplingReport(
+            num_samples=num_samples,
+            num_steps=num_steps,
+            batch_size=chunk_size,
+            num_chunks=num_chunks,
+        )
+
+        model = self.diffusion.model
+        was_training = model.training
+        model.eval()
+        start_total = time.perf_counter()
+        finals: list[np.ndarray] = []
+        chunk_chains: list[list[np.ndarray]] = []
+        try:
+            for start in range(0, num_samples, chunk_size):
+                indices = range(start, min(start + chunk_size, num_samples))
+                chain = self._denoise_chunk(
+                    base_seed, indices, greedy_final, recorder, report, finals
+                )
+                if recorder is not None:
+                    chunk_chains.append(chain)
+        finally:
+            if was_training:
+                model.train()
+        report.total_seconds = time.perf_counter() - start_total
+        self.last_report = report
+
+        samples = finals[0] if len(finals) == 1 else np.concatenate(finals, axis=0)
+        chains: list[np.ndarray] = []
+        if recorder is not None:
+            chains = [
+                parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+                for parts in zip(*chunk_chains)
+            ]
+        return samples, chains, report
+
+    def _denoise_chunk(
+        self,
+        base_seed: int,
+        indices: range,
+        greedy_final: bool,
+        recorder_stride: "int | None",
+        report: SamplingReport,
+        finals: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Reverse-diffuse one chunk; appends the final states to ``finals``."""
+        diffusion = self.diffusion
+        transition = diffusion.transition
+        cfg = diffusion.model.config
+        sample_shape = (cfg.in_channels, cfg.image_size, cfg.image_size)
+        num_steps = diffusion.config.num_steps
+
+        tic = time.perf_counter()
+        # One independent, deterministically seeded stream per sample index:
+        # the drawn values depend only on (base_seed, index), never on how
+        # samples are grouped into chunks.
+        gens = [np.random.default_rng([base_seed, index]) for index in indices]
+        xk = np.stack([transition.sample_stationary(sample_shape, g) for g in gens], axis=0)
+        report.init_seconds += time.perf_counter() - tic
+
+        recorder = None
+        if recorder_stride is not None:
+            recorder = _ChainRecorder(stride=recorder_stride, num_steps=num_steps)
+            recorder.record_initial(xk)
+
+        # no_grad also covers the inference=False cross-check path, which
+        # would otherwise build a full autodiff tape every denoising step.
+        with no_grad():
+            for step in range(num_steps, 0, -1):
+                tic = time.perf_counter()
+                probs_x0 = diffusion.predict_x0_probs(xk, step, inference=self.inference)
+                report.model_seconds += time.perf_counter() - tic
+
+                tic = time.perf_counter()
+                probs_x0 = np.moveaxis(probs_x0, 2, -1)  # (N, C, M, M, S)
+                if step == 1 and greedy_final:
+                    xk = probs_x0.argmax(axis=-1).astype(np.int64)
+                    report.mixing_seconds += time.perf_counter() - tic
+                    if recorder is not None:
+                        recorder.record_final(xk)
+                    break
+                if step == 1:
+                    probs_prev = probs_x0
+                else:
+                    posterior_all = transition.posterior_table(step, dtype=np.float32)[xk]
+                    if posterior_all.shape[-1] == 2:
+                        # Binary topologies: writing out the 2-state mixture is
+                        # cheaper than dispatching einsum every step.
+                        probs_prev = probs_x0[..., 0, None] * posterior_all[..., 0, :]
+                        probs_prev += probs_x0[..., 1, None] * posterior_all[..., 1, :]
+                    else:
+                        probs_prev = np.einsum("...i,...ij->...j", probs_x0, posterior_all)
+                uniforms = np.stack([g.random(sample_shape) for g in gens], axis=0)
+                xk = categorical_from_uniforms(probs_prev, uniforms)
+                report.mixing_seconds += time.perf_counter() - tic
+                if recorder is not None:
+                    recorder.maybe_record(xk, step)
+
+        finals.append(xk)
+        return recorder.states if recorder is not None else []

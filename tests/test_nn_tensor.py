@@ -6,7 +6,6 @@ activations and matrix multiplication.
 """
 
 import numpy as np
-import pytest
 
 from repro.nn import Tensor, concatenate, ones, randn, stack, tensor, zeros
 
