@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -33,10 +34,30 @@ else:
     NUM_GENERATED = 24
 
 
+#: Worker count the benchmarks use for parallel legalisation.  The CI
+#: bench-regression job sets ``REPRO_BENCH_WORKERS=4``; the default of 1
+#: keeps local runs serial (and timing noise-free) unless asked otherwise.
+BENCH_WORKERS = max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1") or 1))
+
+
 def write_result(name: str, text: str) -> Path:
     """Persist a benchmark artefact under ``benchmarks/results`` and echo it."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def write_metrics(name: str, metrics: dict) -> Path:
+    """Persist machine-readable metrics for the CI bench-regression gate.
+
+    Written as ``benchmarks/results/metrics_<name>.json``;
+    ``benchmarks/check_regression.py`` compares them against the committed
+    ``benchmarks/baselines.json``.  A metric value of ``None`` means "not
+    measurable in this environment" and is skipped by the gate.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"metrics_{name}.json"
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
     return path

@@ -9,7 +9,7 @@ reflect the NumPy substrate and the benchmark machine; the relative ordering
 
 from __future__ import annotations
 
-from _bench_utils import NUM_GENERATED, write_result
+from _bench_utils import FAST_MODE, NUM_GENERATED, write_metrics, write_result
 
 from repro.legalization import SolverOptions
 from repro.pipeline import measure_solving_time, run_efficiency_experiment
@@ -42,8 +42,28 @@ def bench_table2_sampling_and_solving(benchmark, trained_pipeline):
     lines.append(batched.format())
     write_result("table2_efficiency.txt", "\n".join(lines))
 
+    legalization = report.legalization_report
+    write_metrics(
+        "table2",
+        {
+            "fast_mode": FAST_MODE,
+            "sampling_seconds_per_sample": report.sampling.seconds_per_sample,
+            "solving_r_seconds": report.solving_random.seconds_per_sample,
+            "solving_e_seconds": report.solving_existing.seconds_per_sample,
+            "solving_e_acceleration": ratio,
+            "sampling_samples_per_second": batched.samples_per_second,
+            "legalize_success_rate": (
+                legalization.success_rate if legalization is not None else None
+            ),
+            "legalize_topologies_per_second": (
+                legalization.topologies_per_second if legalization is not None else None
+            ),
+        },
+    )
+
     assert report.sampling.seconds_per_sample > 0
     assert report.solving_random.seconds_per_sample > 0
     assert report.solving_existing.seconds_per_sample > 0
     assert batched.samples_per_second > 0
     assert report.sampling_report is not None
+    assert report.legalization_report is not None

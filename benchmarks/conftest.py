@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from _bench_utils import (
+    BENCH_WORKERS,
     DIFFUSION_STEPS,
     NUM_GENERATED,
     TRAIN_ITERATIONS,
@@ -33,6 +34,9 @@ def bench_config() -> DiffPatternConfig:
     config = DiffPatternConfig.tiny()
     config.diffusion = DiffusionConfig(num_steps=DIFFUSION_STEPS, lambda_ce=0.05)
     config.train_iterations = TRAIN_ITERATIONS
+    # Sharded legalisation: REPRO_BENCH_WORKERS widens the pool (CI uses 4).
+    # Results are element-wise identical for any width.
+    config.workers = BENCH_WORKERS
     return config
 
 

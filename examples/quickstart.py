@@ -32,10 +32,18 @@ def main() -> int:
     parser.add_argument("--generate", type=int, default=16, help="topologies to sample")
     parser.add_argument("--training-patterns", type=int, default=192)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="legalization process-pool width (1 = serial; results are "
+        "identical for any value)",
+    )
     args = parser.parse_args()
 
     config = DiffPatternConfig.tiny()
     config.diffusion = DiffusionConfig(num_steps=32, lambda_ce=0.05)
+    config.workers = args.workers
     pipeline = DiffPatternPipeline(config)
 
     print("[1/4] synthesising the training library ...")
@@ -52,13 +60,18 @@ def main() -> int:
     print(f"[3/4] sampling {args.generate} topologies ...")
     topologies = pipeline.generate_topologies(args.generate, rng=args.seed)
 
-    print("[4/4] legal pattern assessment (DiffPattern-S) ...")
+    print(f"[4/4] legal pattern assessment (DiffPattern-S, workers={args.workers}) ...")
     result = pipeline.legalize(topologies, num_solutions=1, rng=args.seed)
     print(f"      pre-filter reject rate : {result.prefilter_reject_rate:.1%}")
     print(f"      unsolved topologies    : {result.unsolved}")
     print(f"      legal patterns         : {result.num_patterns}")
     print(f"      legality (DRC)         : {result.legality:.1%}")
     print(f"      pattern diversity H    : {result.pattern_diversity:.4f}")
+
+    report = result.legalization_report
+    if report is not None and report.num_topologies:
+        print("\nlegalization engine report:")
+        print(report.format())
 
     if result.patterns:
         print("\none generated legal pattern (ASCII rendering):")

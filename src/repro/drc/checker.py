@@ -87,11 +87,51 @@ class DesignRuleChecker:
             return self.check_pattern(pattern).clean
         return self.check_layout(pattern).clean
 
+    # ------------------------------------------------------------------ #
+    # batched checking
+    # ------------------------------------------------------------------ #
+    def check_batch(
+        self, patterns: "list[SquishPattern] | list[Layout]"
+    ) -> list[DRCReport]:
+        """Check a whole pattern library; one report per pattern, in order.
+
+        Pattern libraries are checked far more often than single patterns
+        (every Table I row, every legalisation run), so this is the
+        canonical entry point for library-level checking — callers get the
+        verdicts in one call (see :meth:`legality_mask` /
+        :meth:`legal_subset`) instead of hand-rolled loops.
+        """
+        reports: list[DRCReport] = []
+        for pattern in patterns:
+            if isinstance(pattern, SquishPattern):
+                reports.append(self.check_pattern(pattern))
+            else:
+                reports.append(self.check_layout(pattern))
+        return reports
+
+    def legality_mask(
+        self, patterns: "list[SquishPattern] | list[Layout]"
+    ) -> np.ndarray:
+        """Boolean verdict per pattern (``True`` = DRC-clean), batch order."""
+        return np.fromiter(
+            (report.clean for report in self.check_batch(patterns)),
+            dtype=bool,
+            count=len(patterns),
+        )
+
+    def legal_subset(
+        self, patterns: "list[SquishPattern] | list[Layout]"
+    ) -> "list[SquishPattern] | list[Layout]":
+        """The DRC-clean patterns of a library, preserving order."""
+        mask = self.legality_mask(patterns)
+        return [pattern for pattern, ok in zip(patterns, mask) if ok]
+
     def legality_rate(self, patterns: "list[SquishPattern] | list[Layout]") -> float:
         """Fraction of DRC-clean patterns in a library."""
         if not patterns:
             return 0.0
-        return sum(1 for p in patterns if self.is_legal(p)) / len(patterns)
+        mask = self.legality_mask(patterns)
+        return float(mask.sum()) / len(patterns)
 
     # ------------------------------------------------------------------ #
     def _check_grid(

@@ -6,7 +6,13 @@ from .constraints import (
     extract_constraints,
     polygon_area,
 )
-from .legalizer import LegalizationStats, LegalizedTopology, Legalizer
+from .engine import LegalizationEngine, LegalizationReport, default_workers
+from .legalizer import (
+    LegalizationStats,
+    LegalizedTopology,
+    Legalizer,
+    ReferenceIndex,
+)
 from .rules import (
     LARGER_SPACE_RULES,
     NORMAL_RULES,
@@ -36,4 +42,8 @@ __all__ = [
     "Legalizer",
     "LegalizedTopology",
     "LegalizationStats",
+    "LegalizationEngine",
+    "LegalizationReport",
+    "ReferenceIndex",
+    "default_workers",
 ]

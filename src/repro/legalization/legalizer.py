@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..squish import SquishPattern
-from ..utils import as_rng
+from ..utils import as_rng, child_rng, resolve_seed
 from .constraints import extract_constraints
 from .rules import DesignRules
 from .solver import GeometrySolution, SolverOptions, solve_geometry
@@ -37,6 +37,65 @@ class LegalizationStats:
     @property
     def success_rate(self) -> float:
         return self.solved / self.attempted if self.attempted else 0.0
+
+    def merge(self, other: "LegalizationStats") -> "LegalizationStats":
+        """Fold another stats block into this one (shard aggregation)."""
+        self.attempted += other.attempted
+        self.solved += other.solved
+        self.failed += other.failed
+        self.total_solver_time += other.total_solver_time
+        self.total_iterations += other.total_iterations
+        self.solutions += other.solutions
+        return self
+
+
+class ReferenceIndex:
+    """Warm-start target index: reference geometries bucketed by shape.
+
+    The legaliser picks its ``Solving-E`` warm-start target uniformly among
+    the reference pairs whose vector lengths match the topology's constraint
+    shape.  Bucketing the library by ``(rows, cols)`` once turns that pick
+    from an O(library) rescan per topology into an O(1) lookup, while
+    preserving the original candidate ordering inside each bucket (so the
+    uniform draw selects the same pair as the linear scan did).
+    """
+
+    def __init__(
+        self, references: "list[tuple[np.ndarray, np.ndarray]] | None" = None
+    ) -> None:
+        self._buckets: dict[tuple[int, int], list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._size = 0
+        for dx, dy in references or []:
+            self.add(dx, dy)
+
+    def add(self, delta_x: np.ndarray, delta_y: np.ndarray) -> None:
+        """Register one ``(delta_x, delta_y)`` pair under its shape bucket."""
+        pair = (
+            np.asarray(delta_x, dtype=np.float64),
+            np.asarray(delta_y, dtype=np.float64),
+        )
+        key = (len(pair[1]), len(pair[0]))  # (rows, cols)
+        self._buckets.setdefault(key, []).append(pair)
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def candidates(
+        self, shape: tuple[int, int]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """All reference pairs matching a ``(rows, cols)`` constraint shape."""
+        return self._buckets.get((int(shape[0]), int(shape[1])), [])
+
+    def pick(
+        self, shape: tuple[int, int], rng: np.random.Generator
+    ) -> "tuple[np.ndarray | None, np.ndarray | None]":
+        """Uniformly draw a matching pair, or ``(None, None)`` when none fit."""
+        candidates = self.candidates(shape)
+        if not candidates:
+            return None, None
+        dx, dy = candidates[int(rng.integers(0, len(candidates)))]
+        return dx, dy
 
 
 @dataclass
@@ -79,21 +138,33 @@ class Legalizer:
         self.options = options if options is not None else SolverOptions()
         self.stats = LegalizationStats()
 
+    @property
+    def reference_geometries(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """The warm-start library; assigning rebuilds the shape index.
+
+        Appending/extending in place is also detected (via a length check on
+        the next pick); replacing *elements* in place without changing the
+        length is not — reassign the list for that.
+        """
+        return self._reference_geometries
+
+    @reference_geometries.setter
+    def reference_geometries(
+        self, references: "list[tuple[np.ndarray, np.ndarray]] | None"
+    ) -> None:
+        self._reference_geometries = list(references or [])
+        self.reference_index = ReferenceIndex(self._reference_geometries)
+
     # ------------------------------------------------------------------ #
     def _pick_targets(
         self, shape: tuple[int, int], rng: np.random.Generator
     ) -> tuple["np.ndarray | None", "np.ndarray | None"]:
         """Choose solver targets: an existing geometry pair when available."""
-        rows, cols = shape
-        candidates = [
-            (dx, dy)
-            for dx, dy in self.reference_geometries
-            if len(dx) == cols and len(dy) == rows
-        ]
-        if not candidates:
-            return None, None
-        dx, dy = candidates[int(rng.integers(0, len(candidates)))]
-        return np.asarray(dx, dtype=np.float64), np.asarray(dy, dtype=np.float64)
+        if len(self.reference_index) != len(self._reference_geometries):
+            # The public list was mutated in place (e.g. .append); re-bucket
+            # so the pick sees the same candidates a linear scan would.
+            self.reference_index = ReferenceIndex(self._reference_geometries)
+        return self.reference_index.pick(shape, rng)
 
     # ------------------------------------------------------------------ #
     def legalize_topology(
@@ -155,13 +226,26 @@ class Legalizer:
         topologies: "np.ndarray | list[np.ndarray]",
         num_solutions: int = 1,
         rng: "int | np.random.Generator | None" = None,
+        first_index: int = 0,
     ) -> list[LegalizedTopology]:
         """Legalise a batch of topology matrices; unsolvable ones are kept in
-        the output with an empty pattern list so callers can count failures."""
-        gen = as_rng(rng)
+        the output with an empty pattern list so callers can count failures.
+
+        Every topology owns an independent random stream derived from
+        ``(seed, first_index + position)``, so the result for one topology
+        does not depend on the composition of the batch around it: re-running
+        a single topology at the same index reproduces its batch result, and
+        the :class:`~repro.legalization.LegalizationEngine` gets element-wise
+        identical output for any sharding of the same batch.
+        """
+        base_seed = resolve_seed(rng)
         return [
-            self.legalize_topology(topology, num_solutions=num_solutions, rng=gen)
-            for topology in topologies
+            self.legalize_topology(
+                topology,
+                num_solutions=num_solutions,
+                rng=child_rng(base_seed, first_index + position),
+            )
+            for position, topology in enumerate(topologies)
         ]
 
     def legal_patterns(

@@ -18,6 +18,7 @@ from .diffpattern import (
 from .efficiency import (
     EfficiencyReport,
     EfficiencyRow,
+    measure_batch_legalization,
     measure_sampling_time,
     measure_solving_time,
     run_efficiency_experiment,
@@ -50,6 +51,7 @@ __all__ = [
     "complexity_histogram",
     "EfficiencyRow",
     "EfficiencyReport",
+    "measure_batch_legalization",
     "measure_sampling_time",
     "measure_solving_time",
     "run_efficiency_experiment",

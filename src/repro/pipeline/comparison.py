@@ -78,7 +78,7 @@ def evaluate_real_patterns(dataset: LayoutPatternDataset, rules: DesignRules) ->
     """The 'Real Patterns' reference row (whole dataset, as in the paper)."""
     patterns = dataset.real_patterns("all")
     checker = DesignRuleChecker(rules)
-    legal = [p for p in patterns if checker.is_legal(p)]
+    legal = checker.legal_subset(patterns)
     return MethodRow(
         name="Real Patterns",
         generated_topologies=0,
@@ -108,7 +108,7 @@ def evaluate_baseline(
     references = dataset.reference_geometries("train")
     patterns = attach_reference_geometry(list(topologies), references, rng=gen)
     checker = DesignRuleChecker(rules)
-    legal = [p for p in patterns if checker.is_legal(p)]
+    legal = checker.legal_subset(patterns)
     return MethodRow(
         name=name,
         generated_topologies=len(topologies),
@@ -126,13 +126,20 @@ def evaluate_diffpattern(
     num_solutions: int = 1,
     name: "str | None" = None,
     rng: "int | np.random.Generator | None" = None,
+    workers: "int | None" = None,
 ) -> MethodRow:
-    """Score DiffPattern-S (``num_solutions=1``) or DiffPattern-L (>1)."""
+    """Score DiffPattern-S (``num_solutions=1``) or DiffPattern-L (>1).
+
+    Legalisation goes through the sharded engine; ``workers`` overrides the
+    pipeline-config pool width for this evaluation only.
+    """
     gen = as_rng(rng)
     topologies = pipeline.generate_topologies(num_generated, rng=gen)
-    result = pipeline.legalize(topologies, num_solutions=num_solutions, rng=gen)
+    result = pipeline.legalize(
+        topologies, num_solutions=num_solutions, rng=gen, workers=workers
+    )
     checker = DesignRuleChecker(pipeline.config.rules)
-    legal = [p for p in result.patterns if checker.is_legal(p)]
+    legal = checker.legal_subset(result.patterns)
     label = name if name is not None else ("DiffPattern-S" if num_solutions == 1 else "DiffPattern-L")
     return MethodRow(
         name=label,

@@ -39,6 +39,14 @@ class DiffPatternConfig:
     #: denoised per reverse pass.  Purely a memory/throughput trade-off — the
     #: generated samples are identical for any value (per-sample seeding).
     sample_batch_size: int = 32
+    #: Process-pool width of the legalization engine.  ``1`` legalises
+    #: serially in-process; ``None`` sizes the pool to the host CPU count
+    #: (capped at 8 — see ``repro.legalization.default_workers``).  Output is
+    #: element-wise identical for any value (per-index seeding).
+    workers: "int | None" = 1
+    #: Topologies per legalization pool task; ``None`` derives a balanced
+    #: default from the batch and worker count.  Never changes output values.
+    legalize_chunk_size: "int | None" = None
     seed: int = 0
 
     def __post_init__(self) -> None:

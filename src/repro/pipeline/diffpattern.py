@@ -21,7 +21,7 @@ from ..baselines.base import TopologyGenerator
 from ..data import LayoutPatternDataset
 from ..diffusion import DiscreteDiffusion
 from ..drc import DesignRuleChecker
-from ..legalization import Legalizer
+from ..legalization import LegalizationEngine, LegalizationReport
 from ..metrics import pattern_diversity, topology_diversity
 from ..nn import UNet
 from ..prefilter import TopologyPrefilter
@@ -43,6 +43,9 @@ class GenerationResult:
     topology_diversity: float = 0.0
     pattern_diversity: float = 0.0
     legality: float = 0.0
+    #: Throughput / statistics of the legalization engine run that produced
+    #: ``patterns``.
+    legalization_report: "LegalizationReport | None" = field(default=None, repr=False)
 
     @property
     def num_patterns(self) -> int:
@@ -60,6 +63,10 @@ class DiffPatternPipeline:
         self.checker = DesignRuleChecker(self.config.rules)
         self.training_history: list[dict[str, float]] = []
         self._engine: "SamplingEngine | None" = None
+        self._legalization_report: "LegalizationReport | None" = None
+        self._legalization_engine: "LegalizationEngine | None" = None
+        self._legalization_engine_key: "tuple | None" = None
+        self._legalization_engine_dataset: "LayoutPatternDataset | None" = None
 
     # ------------------------------------------------------------------ #
     # phase 1: data
@@ -162,26 +169,79 @@ class DiffPatternPipeline:
     # ------------------------------------------------------------------ #
     # phase 3: assessment
     # ------------------------------------------------------------------ #
+    def legalization_engine(
+        self,
+        use_reference_geometries: bool = True,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+    ) -> LegalizationEngine:
+        """A legalization engine configured for this pipeline.
+
+        ``workers`` / ``chunk_size`` default to the config knobs
+        (:attr:`DiffPatternConfig.workers`,
+        :attr:`DiffPatternConfig.legalize_chunk_size`).  The engine is
+        cached until the dataset or a knob changes, so repeated legalise
+        calls skip re-extracting the reference geometries from the dataset
+        (the engine itself re-buckets them once per batch call).
+        """
+        workers = workers if workers is not None else self.config.workers
+        chunk_size = (
+            chunk_size if chunk_size is not None else self.config.legalize_chunk_size
+        )
+        # The dataset is compared by identity (and retained, so a freed
+        # object's address can never alias it); dataclass equality would
+        # compare whole pattern arrays.
+        key = (use_reference_geometries, workers, chunk_size)
+        if (
+            self._legalization_engine is None
+            or self._legalization_engine_dataset is not self.dataset
+            or self._legalization_engine_key != key
+        ):
+            references = (
+                self.dataset.reference_geometries("train")
+                if (use_reference_geometries and self.dataset is not None)
+                else None
+            )
+            self._legalization_engine = LegalizationEngine(
+                self.config.rules,
+                reference_geometries=references,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            self._legalization_engine_key = key
+            self._legalization_engine_dataset = self.dataset
+        return self._legalization_engine
+
+    @property
+    def last_legalization_report(self) -> "LegalizationReport | None":
+        """Per-phase throughput of the most recent legalisation run."""
+        return self._legalization_report
+
     def legalize(
         self,
         topologies: np.ndarray,
         num_solutions: int = 1,
         use_reference_geometries: bool = True,
         rng: "int | np.random.Generator | None" = None,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
     ) -> GenerationResult:
         """Pre-filter and legalise generated topologies into a pattern library.
 
         ``num_solutions=1`` is DiffPattern-S; larger values give DiffPattern-L.
+        The batch is sharded across ``workers`` processes (config default);
+        results are element-wise identical for any worker count / chunk size.
         """
-        gen = as_rng(rng)
         filtered = self.prefilter.filter(list(topologies))
-        references = (
-            self.dataset.reference_geometries("train")
-            if (use_reference_geometries and self.dataset is not None)
-            else None
+        engine = self.legalization_engine(
+            use_reference_geometries=use_reference_geometries,
+            workers=workers,
+            chunk_size=chunk_size,
         )
-        legalizer = Legalizer(self.config.rules, reference_geometries=references)
-        results = legalizer.legalize_batch(filtered.kept, num_solutions=num_solutions, rng=gen)
+        results, report = engine.legalize_batch_with_report(
+            filtered.kept, num_solutions=num_solutions, seed=rng
+        )
+        self._legalization_report = report
         patterns = [p for r in results for p in r.patterns]
         unsolved = sum(1 for r in results if not r.solved)
         result = GenerationResult(
@@ -193,6 +253,7 @@ class DiffPatternPipeline:
             topology_diversity=topology_diversity(list(topologies)) if len(topologies) else 0.0,
             pattern_diversity=pattern_diversity(patterns) if patterns else 0.0,
             legality=self.checker.legality_rate(patterns) if patterns else 0.0,
+            legalization_report=report,
         )
         return result
 

@@ -12,10 +12,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..drc import DesignRuleChecker
-from ..legalization import DesignRules, Legalizer
+from ..legalization import DesignRules, LegalizationEngine
 from ..metrics import complexity_distribution, pattern_complexity
 from ..squish import SquishPattern, unfold
-from ..utils import as_rng
+from ..utils import child_rng, resolve_seed
 from .diffpattern import DiffPatternPipeline
 
 
@@ -85,11 +85,15 @@ def patterns_from_single_topology(
     num_patterns: int = 6,
     rng: "int | np.random.Generator | None" = None,
 ) -> list[SquishPattern]:
-    """Generate several distinct legal patterns sharing one topology (Fig. 7)."""
-    gen = as_rng(rng)
-    legalizer = Legalizer(rules)
-    result = legalizer.legalize_topology(topology, num_solutions=num_patterns, rng=gen)
-    return result.patterns
+    """Generate several distinct legal patterns sharing one topology (Fig. 7).
+
+    Runs through the legalization engine for its seeding contract.  A single
+    topology never shards (its solutions are sequential draws from one
+    per-index stream), so this is inherently serial.
+    """
+    engine = LegalizationEngine(rules, workers=1)
+    results = engine.legalize_batch([topology], num_solutions=num_patterns, seed=rng)
+    return results[0].patterns
 
 
 def geometry_signatures(patterns: list[SquishPattern]) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
@@ -115,12 +119,21 @@ def patterns_under_rule_scenarios(
     scenarios: list[tuple[str, DesignRules]],
     rng: "int | np.random.Generator | None" = None,
 ) -> list[RuleScenario]:
-    """Legalise the same topology under several rule sets without retraining."""
-    gen = as_rng(rng)
+    """Legalise the same topology under several rule sets without retraining.
+
+    One single-topology engine run per scenario (each rule set needs its own
+    engine); inherently serial, like :func:`patterns_from_single_topology`.
+    """
+    base_seed = resolve_seed(rng)
     results = []
-    for name, rules in scenarios:
-        legalizer = Legalizer(rules)
-        outcome = legalizer.legalize_topology(topology, num_solutions=1, rng=gen)
+    for index, (name, rules) in enumerate(scenarios):
+        engine = LegalizationEngine(rules, workers=1)
+        # Each scenario owns the stream at its position, so appending new
+        # scenarios never perturbs the earlier ones' solutions (reordering
+        # reassigns streams, since they are positional).
+        outcome = engine.legalize_batch(
+            [topology], num_solutions=1, seed=child_rng(base_seed, index)
+        )[0]
         pattern = outcome.patterns[0] if outcome.solved else None
         legal = bool(pattern is not None and DesignRuleChecker(rules).is_legal(pattern))
         results.append(RuleScenario(name=name, rules=rules, pattern=pattern, legal=legal))

@@ -37,22 +37,9 @@ import numpy as np
 from ..diffusion import DiscreteDiffusion
 from ..diffusion.transition import categorical_from_uniforms
 from ..nn import no_grad
+from ..utils import resolve_seed
 
-
-def resolve_seed(rng: "int | np.random.Generator | None") -> int:
-    """Collapse the library's ``rng``-like arguments into one integer seed.
-
-    Integers pass through, ``None`` draws a fresh random seed, and an
-    existing Generator contributes one draw from its stream (so pipelines
-    that thread a shared generator stay reproducible end to end).
-    """
-    if rng is None:
-        return int(np.random.default_rng().integers(0, 2**63))
-    if isinstance(rng, (int, np.integer)):
-        return int(rng)
-    if isinstance(rng, np.random.Generator):
-        return int(rng.integers(0, 2**63))
-    raise TypeError(f"cannot interpret {type(rng).__name__} as a seed")
+__all__ = ["SamplingEngine", "SamplingReport", "resolve_seed"]
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """Small shared utilities (RNG handling, timing, logging helpers)."""
 
-from .rng import as_rng
+from .rng import as_rng, child_rng, resolve_seed
 from .timing import Timer
 
-__all__ = ["as_rng", "Timer"]
+__all__ = ["as_rng", "child_rng", "resolve_seed", "Timer"]

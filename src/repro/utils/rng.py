@@ -26,3 +26,33 @@ def as_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generato
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")
+
+
+def resolve_seed(rng: "int | np.random.Generator | None") -> int:
+    """Collapse the library's ``rng``-like arguments into one integer seed.
+
+    Integers pass through, ``None`` draws a fresh random seed, and an
+    existing Generator contributes one draw from its stream (so pipelines
+    that thread a shared generator stay reproducible end to end).
+    """
+    if rng is None:
+        return int(np.random.default_rng().integers(0, 2**63))
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63))
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a seed")
+
+
+def child_rng(base_seed: int, index: int) -> np.random.Generator:
+    """The independent random stream owned by element ``index`` of a batch.
+
+    Derived through :class:`numpy.random.SeedSequence` spawning, so the
+    stream depends only on ``(base_seed, index)`` — never on how the batch is
+    chunked, which worker processes it, or which other elements surround it.
+    This is the seeding contract shared by the sampling and legalization
+    engines.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(index),))
+    )

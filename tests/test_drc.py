@@ -105,3 +105,40 @@ class TestReportsAndRates:
         report = DRCReport()
         assert report.clean
         assert report.count() == 0
+
+
+class TestBatchChecking:
+    def test_check_batch_matches_single_checks(self, checker):
+        patterns = [
+            pattern_from([[0, 0], [0, 1]], [200, 200], [200, 200]),
+            pattern_from([[1, 0]], [5, 395], [400]),
+            pattern_from([[1, 0, 1]], [150, 100, 150], [400]),
+        ]
+        reports = checker.check_batch(patterns)
+        assert len(reports) == len(patterns)
+        for pattern, report in zip(patterns, reports):
+            assert report.clean == checker.is_legal(pattern)
+
+    def test_check_batch_mixed_patterns_and_layouts(self, checker):
+        pattern = pattern_from([[0, 1, 0]], [100, 200, 100], [400])
+        reports = checker.check_batch([pattern, pattern.to_layout()])
+        assert reports[0].clean == reports[1].clean
+
+    def test_legality_mask_order_and_dtype(self, checker):
+        clean = pattern_from([[0, 0], [0, 1]], [200, 200], [200, 200])
+        dirty = pattern_from([[1, 0]], [5, 395], [400])
+        mask = checker.legality_mask([clean, dirty, clean])
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_legal_subset_preserves_order(self, checker):
+        clean_a = pattern_from([[0, 0], [0, 1]], [200, 200], [200, 200])
+        dirty = pattern_from([[1, 0]], [5, 395], [400])
+        clean_b = pattern_from([[0, 1, 0]], [100, 200, 100], [400])
+        subset = checker.legal_subset([clean_a, dirty, clean_b])
+        assert [p is q for p, q in zip(subset, [clean_a, clean_b])] == [True, True]
+        assert len(subset) == 2
+
+    def test_batch_empty(self, checker):
+        assert checker.check_batch([]) == []
+        assert checker.legality_mask([]).shape == (0,)
