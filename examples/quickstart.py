@@ -4,13 +4,27 @@ Runs the full framework end to end in a couple of minutes on CPU:
 
 1. synthesise a DRC-clean training library (the ICCAD-map substitute),
 2. train the discrete diffusion model on deep-squish topology tensors,
-3. sample fresh topologies, pre-filter them,
-4. assign legal geometric vectors with the white-box solver,
-5. report legality / diversity and draw one generated pattern as ASCII art.
+3. stream generation through the stage graph — each fixed-size chunk flows
+   sample -> prefilter -> legalize -> DRC before the next chunk is sampled,
+   so peak memory is bounded by the chunk size (the monolithic batch path is
+   one flag away and produces the identical result),
+4. report legality / diversity and draw one generated pattern as ASCII art.
+
+Streaming + persistence walkthrough::
+
+    python examples/quickstart.py --stream --chunk-size 8          # bounded memory
+    python examples/quickstart.py --library out/lib                # persist chunks
+    # kill it halfway (Ctrl-C), then pick up where it stopped:
+    python examples/quickstart.py --library out/lib --resume
+
+A resumed run reloads completed chunks from ``out/lib/manifest.json`` and its
+npz shards instead of re-generating them, and reproduces the uninterrupted
+run exactly (same patterns, same diversity H, same legality).
 
 Usage::
 
     python examples/quickstart.py [--iterations 600] [--generate 16]
+        [--batch | --stream] [--chunk-size 8] [--library DIR] [--resume]
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.diffusion import DiffusionConfig
+from repro.library import PatternLibrary
 from repro.pipeline import DiffPatternConfig, DiffPatternPipeline, render_pattern
 
 
@@ -39,7 +54,41 @@ def main() -> int:
         help="legalization process-pool width (1 = serial; results are "
         "identical for any value)",
     )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--stream",
+        action="store_true",
+        default=True,
+        help="stream generation chunk by chunk (default; bounded memory)",
+    )
+    mode.add_argument(
+        "--batch",
+        dest="stream",
+        action="store_false",
+        help="single-barrier path: sample everything, then assess everything "
+        "(identical output, unbounded memory)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8,
+        help="samples per streamed graph step (memory knob only — the "
+        "generated patterns are identical for any value)",
+    )
+    parser.add_argument(
+        "--library",
+        type=Path,
+        default=None,
+        help="directory to persist the pattern library (npz shards + manifest)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed --library run from its manifest",
+    )
     args = parser.parse_args()
+    if args.resume and args.library is None:
+        parser.error("--resume needs --library: the manifest is what a run resumes from")
 
     config = DiffPatternConfig.tiny()
     config.diffusion = DiffusionConfig(num_steps=32, lambda_ce=0.05)
@@ -57,21 +106,39 @@ def main() -> int:
     print(f"      done in {time.perf_counter() - start:.1f}s, "
           f"final loss {history[-1]['loss']:.4f}")
 
-    print(f"[3/4] sampling {args.generate} topologies ...")
-    topologies = pipeline.generate_topologies(args.generate, rng=args.seed)
+    library = PatternLibrary(args.library) if args.library is not None else None
+    mode_label = (
+        f"streaming, chunks of {args.chunk_size}" if args.stream else "batch barrier"
+    )
+    print(f"[3/4] generation graph: sample -> prefilter -> legalize -> DRC "
+          f"({mode_label}, workers={args.workers}) ...")
+    result = pipeline.generate_and_legalize(
+        args.generate,
+        num_solutions=1,
+        rng=args.seed,
+        stream=args.stream,
+        chunk_size=args.chunk_size,
+        library=library,
+        resume=args.resume,
+    )
 
-    print(f"[4/4] legal pattern assessment (DiffPattern-S, workers={args.workers}) ...")
-    result = pipeline.legalize(topologies, num_solutions=1, rng=args.seed)
+    print("[4/4] legal pattern assessment (DiffPattern-S) ...")
     print(f"      pre-filter reject rate : {result.prefilter_reject_rate:.1%}")
     print(f"      unsolved topologies    : {result.unsolved}")
     print(f"      legal patterns         : {result.num_patterns}")
     print(f"      legality (DRC)         : {result.legality:.1%}")
     print(f"      pattern diversity H    : {result.pattern_diversity:.4f}")
 
+    if result.sampling_report is not None:
+        print("\nsampling engine report:")
+        print(result.sampling_report.format())
     report = result.legalization_report
     if report is not None and report.num_topologies:
         print("\nlegalization engine report:")
         print(report.format())
+    if library is not None:
+        print(f"\npattern library at {args.library}: {library.summary()}")
+        print("      (kill this run and pass --resume to continue it)")
 
     if result.patterns:
         print("\none generated legal pattern (ASCII rendering):")

@@ -25,6 +25,7 @@ from . import (
     drc,
     geometry,
     legalization,
+    library,
     metrics,
     nn,
     pipeline,
@@ -35,6 +36,7 @@ from .data import DatasetConfig, LayoutPatternDataset, SyntheticLayoutGenerator
 from .diffusion import DiffusionConfig, DiscreteDiffusion
 from .drc import DesignRuleChecker
 from .legalization import DesignRules, Legalizer
+from .library import PatternLibrary
 from .pipeline import DiffPatternConfig, DiffPatternPipeline, GenerationResult
 from .squish import SquishPattern
 
@@ -52,6 +54,8 @@ __all__ = [
     "data",
     "baselines",
     "pipeline",
+    "library",
+    "PatternLibrary",
     "SquishPattern",
     "DesignRules",
     "Legalizer",

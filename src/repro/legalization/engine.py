@@ -40,6 +40,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -91,6 +92,18 @@ class LegalizationReport:
     @property
     def success_rate(self) -> float:
         return self.stats.success_rate
+
+    def merge(self, other: "LegalizationReport") -> "LegalizationReport":
+        """Fold another report into this one (streamed-run aggregation)."""
+        self.num_topologies += other.num_topologies
+        self.num_chunks += other.num_chunks
+        self.total_seconds += other.total_seconds
+        self.solver_seconds += other.solver_seconds
+        self.stats.merge(other.stats)
+        self.num_solutions = max(self.num_solutions, other.num_solutions)
+        self.workers = max(self.workers, other.workers)
+        self.chunk_size = max(self.chunk_size, other.chunk_size)
+        return self
 
     def format(self) -> str:
         lines = [
@@ -182,6 +195,7 @@ class LegalizationEngine:
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.last_report: "LegalizationReport | None" = None
+        self._pool: "ProcessPoolExecutor | None" = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -192,10 +206,21 @@ class LegalizationEngine:
         num_solutions: int = 1,
         seed: "int | np.random.Generator | None" = 0,
         chunk_size: "int | None" = None,
+        first_index: int = 0,
     ) -> list[LegalizedTopology]:
-        """Legalise a batch; element ``i`` depends only on ``(seed, i)``."""
+        """Legalise a batch; element ``i`` depends only on ``(seed, i)``.
+
+        ``first_index`` offsets the per-topology streams: the batch occupies
+        indices ``[first_index, first_index + len(batch))`` of the seed's
+        virtual sequence, so a streaming caller legalising consecutive
+        windows reproduces one monolithic call bit for bit.
+        """
         results, _ = self.legalize_batch_with_report(
-            topologies, num_solutions=num_solutions, seed=seed, chunk_size=chunk_size
+            topologies,
+            num_solutions=num_solutions,
+            seed=seed,
+            chunk_size=chunk_size,
+            first_index=first_index,
         )
         return results
 
@@ -205,13 +230,16 @@ class LegalizationEngine:
         num_solutions: int = 1,
         seed: "int | np.random.Generator | None" = 0,
         chunk_size: "int | None" = None,
+        first_index: int = 0,
     ) -> tuple[list[LegalizedTopology], LegalizationReport]:
         """Like :meth:`legalize_batch` but also returns the throughput report."""
+        if first_index < 0:
+            raise ValueError("first_index must be >= 0")
         batch = [np.asarray(t) for t in topologies]
         base_seed = resolve_seed(seed)
         chunk = self._resolve_chunk_size(len(batch), chunk_size)
         shards = [
-            (start, batch[start : start + chunk], int(num_solutions), base_seed)
+            (first_index + start, batch[start : start + chunk], int(num_solutions), base_seed)
             for start in range(0, len(batch), chunk)
         ]
         report = LegalizationReport(
@@ -245,6 +273,33 @@ class LegalizationEngine:
         report.solver_seconds = report.stats.total_solver_time
         self.last_report = report
         return results, report
+
+    @contextmanager
+    def pool(self):
+        """Hold one process pool open across several batch calls.
+
+        The default per-call pool keeps one-shot batches leak-free, but a
+        streaming caller that legalises many small chunks would otherwise
+        pay pool startup — and re-ship the reference-geometry library to
+        every worker — once *per chunk*.  Inside this context the pool (and
+        the workers' reference copies) persists until exit; re-entering is a
+        no-op, and at ``workers=1`` there is nothing to hold.  The engine's
+        rules/references/options are pinned for the lifetime of the pool —
+        reassign them only outside the context.
+        """
+        if self.workers == 1 or self._pool is not None:
+            yield self
+            return
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.rules, self.reference_geometries, self.options),
+        )
+        try:
+            yield self
+        finally:
+            pool, self._pool = self._pool, None
+            pool.shutdown()
 
     def legal_patterns(
         self,
@@ -292,6 +347,8 @@ class LegalizationEngine:
     def _run_shards_parallel(
         self, shards: "list[tuple[int, list[np.ndarray], int, int]]"
     ) -> "list[tuple[int, list[LegalizedTopology], LegalizationStats]]":
+        if self._pool is not None:
+            return list(self._pool.map(_legalize_shard, shards))
         max_workers = min(self.workers, len(shards))
         with ProcessPoolExecutor(
             max_workers=max_workers,

@@ -1,0 +1,21 @@
+"""Persistent pattern library: append-only npz shards + JSON manifest."""
+
+from .store import (
+    ChunkRecord,
+    LibraryError,
+    PatternLibrary,
+    load_shard,
+    pattern_hash,
+    save_shard,
+    topology_hash,
+)
+
+__all__ = [
+    "PatternLibrary",
+    "ChunkRecord",
+    "LibraryError",
+    "save_shard",
+    "load_shard",
+    "pattern_hash",
+    "topology_hash",
+]

@@ -1,0 +1,393 @@
+"""Append-only on-disk pattern library: npz shards + a JSON manifest.
+
+The paper's end product is a large *library* of legal patterns judged by
+diversity H and legality; this module makes that library a first-class,
+persistent artefact instead of an in-memory list that dies with the process:
+
+* **Shards** — each completed generation chunk is written as one
+  ``shards/shard_<n>.npz`` file holding its patterns in the
+  :meth:`~repro.squish.SquishPattern.as_arrays` codec (the same arrays
+  ``SquishPattern.save`` writes, under per-pattern key prefixes), so a
+  round trip is lossless and exact.
+* **Manifest** — ``manifest.json`` records the run fingerprint (seeds and
+  knobs), one accounting record per chunk (counts, solver stats, complexity
+  histograms) and the topology-hash registry.  The manifest is rewritten
+  atomically (temp file + ``os.replace``) *after* its shard, so a killed run
+  leaves at worst one orphaned shard that the restart overwrites.
+* **Resume** — a :class:`~repro.pipeline.GenerationGraph` run handed an
+  existing library validates the fingerprint, folds the stored records into
+  its accumulators and continues with the first chunk the manifest does not
+  list; completed chunks are never re-generated.
+* **Dedup** — every stored pattern registers the hash of its topology
+  matrix; ``dedup=True`` skips patterns whose exact ``(topology, delta_x,
+  delta_y)`` triple is already present, and the per-topology registry feeds
+  ``num_unique_topologies`` either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..metrics import ComplexityHistogram
+from ..squish import SquishPattern
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+MANIFEST_VERSION = 1
+
+
+class LibraryError(RuntimeError):
+    """A pattern library on disk is missing, corrupt, or incompatible."""
+
+
+def topology_hash(topology: np.ndarray) -> str:
+    """Stable hex digest of a binary topology matrix (shape-aware)."""
+    arr = np.ascontiguousarray(np.asarray(topology, dtype=np.uint8))
+    digest = hashlib.sha1()
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def pattern_hash(pattern: SquishPattern) -> str:
+    """Hex digest of the full ``(topology, delta_x, delta_y)`` triple."""
+    digest = hashlib.sha1()
+    digest.update(topology_hash(pattern.topology).encode())
+    digest.update(np.ascontiguousarray(pattern.delta_x).tobytes())
+    digest.update(np.ascontiguousarray(pattern.delta_y).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class ChunkRecord:
+    """Accounting for one completed generation chunk.
+
+    The complexity multisets are stored in the compact
+    :meth:`~repro.metrics.ComplexityHistogram.as_records` codec
+    (``[cx, cy, count]`` rows), and each record carries only the hashes it
+    *introduced*, so a chunk's manifest contribution is proportional to the
+    chunk, not to the library.
+    """
+
+    chunk: int                      # chunk index within the run
+    start: int                      # first raw sample index of the chunk
+    num_sampled: int                # raw topologies drawn
+    num_kept: int                   # survived the prefilter
+    num_rejected: int
+    unsolved: int                   # kept topologies with no legal solution
+    num_patterns: int               # legal patterns produced (pre-dedup)
+    num_stored: int                 # patterns written to the shard
+    duplicates_skipped: int
+    num_clean: int                  # DRC-clean stored patterns
+    shard: "str | None"             # shard file name, None for empty chunks
+    topology_complexity_counts: list[list[int]] = field(default_factory=list)
+    pattern_complexity_counts: list[list[int]] = field(default_factory=list)
+    new_pattern_hashes: list[str] = field(default_factory=list)
+    new_topology_hashes: list[str] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkRecord":
+        return cls(**{key: data[key] for key in cls.__dataclass_fields__ if key in data})
+
+
+class PatternLibrary:
+    """Append-only persistent store for legal squish patterns.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``manifest.json`` and the ``shards/`` folder.
+        Created on first write; an existing manifest is loaded eagerly.
+    dedup:
+        When ``True``, :meth:`append_chunk` skips patterns whose exact
+        ``(topology, delta_x, delta_y)`` hash is already registered.  Off by
+        default so a streamed run stays element-wise identical to the batch
+        run.  The flag is persisted in the manifest, and an existing
+        library's persisted value always wins on reopen — flipping the mode
+        midway would make a resumed run diverge from the uninterrupted one.
+    """
+
+    def __init__(self, root: "str | Path", dedup: bool = False) -> None:
+        self.root = Path(root)
+        self.dedup = bool(dedup)
+        self.fingerprint: dict = {}
+        self.chunk_records: dict[int, ChunkRecord] = {}
+        self._pattern_hashes: set[str] = set()
+        self._topology_hashes: set[str] = set()
+        if self.manifest_path.exists():
+            self._load_manifest()
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def shard_dir(self) -> Path:
+        return self.root / SHARD_DIR
+
+    def shard_path(self, chunk: int) -> Path:
+        return self.shard_dir / f"shard_{chunk:05d}.npz"
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_records)
+
+    @property
+    def num_patterns(self) -> int:
+        """Patterns stored on disk (post-dedup)."""
+        return sum(record.num_stored for record in self.chunk_records.values())
+
+    @property
+    def num_unique_topologies(self) -> int:
+        return len(self._topology_hashes)
+
+    def completed_chunks(self) -> list[int]:
+        return sorted(self.chunk_records)
+
+    def records_in_order(self) -> list[ChunkRecord]:
+        return [self.chunk_records[index] for index in self.completed_chunks()]
+
+    def pattern_histogram(self) -> ComplexityHistogram:
+        """Streaming complexity histogram over every stored pattern."""
+        histogram = ComplexityHistogram()
+        for record in self.records_in_order():
+            histogram.merge(
+                ComplexityHistogram.from_records(record.pattern_complexity_counts)
+            )
+        return histogram
+
+    def diversity(self, base: float = 2.0) -> float:
+        """Diversity H of the stored library (incremental accounting)."""
+        return self.pattern_histogram().diversity(base=base)
+
+    def legality(self) -> float:
+        """DRC-clean fraction of the stored patterns."""
+        clean = sum(record.num_clean for record in self.chunk_records.values())
+        total = sum(record.num_stored for record in self.chunk_records.values())
+        return clean / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """One-look accounting of the whole library."""
+        return {
+            "chunks": self.num_chunks,
+            "patterns": self.num_patterns,
+            "unique_topologies": self.num_unique_topologies,
+            "diversity": self.diversity(),
+            "legality": self.legality(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # run binding / resume
+    # ------------------------------------------------------------------ #
+    def bind(self, fingerprint: dict, resume: bool = False) -> list[ChunkRecord]:
+        """Attach a generation run to this library.
+
+        A fresh library adopts ``fingerprint``.  An existing one must match
+        it exactly — resuming under different seeds or knobs would silently
+        mix incompatible streams — and returns the completed chunk records
+        (empty unless ``resume`` is set; continuing a populated library
+        without ``resume=True`` is an error rather than an implicit append).
+        """
+        if not self.fingerprint:
+            self.fingerprint = dict(fingerprint)
+            return []
+        if self.fingerprint != dict(fingerprint):
+            raise LibraryError(
+                "library fingerprint mismatch: the manifest was written by a run "
+                f"with {self.fingerprint}, this run has {dict(fingerprint)}; "
+                "use a fresh directory (or the original seed/knobs) instead"
+            )
+        if self.chunk_records and not resume:
+            raise LibraryError(
+                f"library at {self.root} already holds {self.num_chunks} chunk(s); "
+                "pass resume=True to continue it"
+            )
+        return self.records_in_order()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def plan_chunk(self, patterns: list[SquishPattern]) -> list[bool]:
+        """Which of ``patterns`` :meth:`append_chunk` would store.
+
+        Pure (no registry mutation); lets the generation graph compute its
+        metrics over exactly the patterns that will be stored — including
+        intra-chunk duplicates — before committing the chunk.  With
+        ``dedup`` off every pattern is stored.
+        """
+        if not self.dedup:
+            return [True] * len(patterns)
+        seen = set(self._pattern_hashes)
+        flags = []
+        for pattern in patterns:
+            digest = pattern_hash(pattern)
+            if digest in seen:
+                flags.append(False)
+            else:
+                seen.add(digest)
+                flags.append(True)
+        return flags
+
+    def append_chunk(
+        self, record: ChunkRecord, patterns: list[SquishPattern]
+    ) -> list[SquishPattern]:
+        """Persist one completed chunk; returns the patterns actually stored.
+
+        The shard is written first, the manifest second (atomically), so an
+        interrupt between the two leaves a restartable library.
+        """
+        if record.chunk in self.chunk_records:
+            raise LibraryError(f"chunk {record.chunk} is already recorded")
+        stored = []
+        skipped = 0
+        new_pattern_hashes: list[str] = []
+        new_topology_hashes: list[str] = []
+        for pattern in patterns:
+            digest = pattern_hash(pattern)
+            if self.dedup and digest in self._pattern_hashes:
+                skipped += 1
+                continue
+            if digest not in self._pattern_hashes:
+                new_pattern_hashes.append(digest)
+                self._pattern_hashes.add(digest)
+            topo_digest = topology_hash(pattern.topology)
+            if topo_digest not in self._topology_hashes:
+                new_topology_hashes.append(topo_digest)
+                self._topology_hashes.add(topo_digest)
+            stored.append(pattern)
+        record.num_stored = len(stored)
+        record.duplicates_skipped = skipped
+        record.new_pattern_hashes = new_pattern_hashes
+        record.new_topology_hashes = new_topology_hashes
+        if stored:
+            self.shard_dir.mkdir(parents=True, exist_ok=True)
+            save_shard(self.shard_path(record.chunk), stored)
+            record.shard = self.shard_path(record.chunk).name
+        else:
+            record.shard = None
+        self.chunk_records[record.chunk] = record
+        self._write_manifest()
+        return stored
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def load_chunk_patterns(self, chunk: int) -> list[SquishPattern]:
+        """Load the stored patterns of one chunk (empty for shard-less chunks)."""
+        record = self.chunk_records.get(chunk)
+        if record is None:
+            raise LibraryError(f"chunk {chunk} is not recorded in {self.manifest_path}")
+        if record.shard is None:
+            return []
+        path = self.shard_dir / record.shard
+        if not path.exists():
+            raise LibraryError(f"shard {path} named by the manifest is missing")
+        patterns = load_shard(path)
+        if len(patterns) != record.num_stored:
+            raise LibraryError(
+                f"shard {path} holds {len(patterns)} pattern(s) but the manifest "
+                f"records {record.num_stored}"
+            )
+        return patterns
+
+    def load_patterns(self) -> list[SquishPattern]:
+        """Every stored pattern, in generation (chunk, position) order."""
+        patterns: list[SquishPattern] = []
+        for chunk in self.completed_chunks():
+            patterns.extend(self.load_chunk_patterns(chunk))
+        return patterns
+
+    # ------------------------------------------------------------------ #
+    # manifest plumbing
+    # ------------------------------------------------------------------ #
+    def _write_manifest(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "dedup": self.dedup,
+            "chunks": [record.as_dict() for record in self.records_in_order()],
+        }
+        tmp_path = self.manifest_path.with_suffix(".json.tmp")
+        tmp_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp_path, self.manifest_path)
+
+    def _load_manifest(self) -> None:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise LibraryError(f"cannot read manifest {self.manifest_path}: {error}") from error
+        if payload.get("version") != MANIFEST_VERSION:
+            raise LibraryError(
+                f"manifest {self.manifest_path} has unsupported version "
+                f"{payload.get('version')!r} (expected {MANIFEST_VERSION})"
+            )
+        self.fingerprint = payload.get("fingerprint", {})
+        # The persisted mode wins: continuing a deduplicated library without
+        # dedup (or vice versa) would silently change what gets stored.
+        self.dedup = bool(payload.get("dedup", self.dedup))
+        self.chunk_records = {
+            record["chunk"]: ChunkRecord.from_dict(record)
+            for record in payload.get("chunks", [])
+        }
+        # The hash registry is the union of every chunk's contribution.
+        self._pattern_hashes = set()
+        self._topology_hashes = set()
+        for record in self.chunk_records.values():
+            self._pattern_hashes.update(record.new_pattern_hashes)
+            self._topology_hashes.update(record.new_topology_hashes)
+
+
+# --------------------------------------------------------------------------- #
+# shard codec
+# --------------------------------------------------------------------------- #
+def save_shard(path: "str | Path", patterns: list[SquishPattern]) -> None:
+    """Write many patterns to one ``.npz`` shard (lossless).
+
+    Uses the single-pattern :meth:`SquishPattern.as_arrays` codec under
+    ``p<i>_`` key prefixes plus a ``count`` array.
+    """
+    arrays: dict[str, np.ndarray] = {"count": np.asarray(len(patterns), dtype=np.int64)}
+    for index, pattern in enumerate(patterns):
+        for key, value in pattern.as_arrays().items():
+            arrays[f"p{index}_{key}"] = value
+    np.savez_compressed(path, **arrays)
+
+
+def load_shard(path: "str | Path") -> list[SquishPattern]:
+    """Load the patterns of one shard written by :func:`save_shard`."""
+    with np.load(path) as data:
+        if "count" not in data.files:
+            raise LibraryError(f"{path} is not a pattern shard (no count array)")
+        count = int(data["count"])
+        patterns = []
+        for index in range(count):
+            prefix = f"p{index}_"
+            arrays = {
+                key.removeprefix(prefix): data[key]
+                for key in data.files
+                if key.startswith(prefix)
+            }
+            try:
+                patterns.append(
+                    SquishPattern.from_arrays(arrays, source=f"{path}[{index}]")
+                )
+            except ValueError as error:
+                raise LibraryError(str(error)) from error
+    return patterns

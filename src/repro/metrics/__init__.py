@@ -11,12 +11,14 @@ from .diversity import (
     shannon_entropy,
     topology_diversity,
 )
+from .streaming import ComplexityHistogram
 from .validity import ValidityConfig, ValidityScorer
 
 __all__ = [
     "pattern_complexity",
     "topology_complexity",
     "complexity_distribution",
+    "ComplexityHistogram",
     "shannon_entropy",
     "diversity_from_complexities",
     "pattern_diversity",

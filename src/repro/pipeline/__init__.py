@@ -18,17 +18,21 @@ from .diffpattern import (
 from .efficiency import (
     EfficiencyReport,
     EfficiencyRow,
+    StreamingMeasurement,
     measure_batch_legalization,
     measure_sampling_time,
     measure_solving_time,
+    measure_streamed_generation,
     run_efficiency_experiment,
 )
 from .sampling_engine import SamplingEngine, SamplingReport, resolve_seed
+from .stages import GenerationGraph, GenerationGraphReport
 from .figures import (
     ComplexityComparison,
     DenoisingChain,
     RuleScenario,
     compare_complexity_distributions,
+    compare_complexity_histograms,
     geometry_signatures,
     patterns_from_single_topology,
     patterns_under_rule_scenarios,
@@ -51,12 +55,16 @@ __all__ = [
     "complexity_histogram",
     "EfficiencyRow",
     "EfficiencyReport",
+    "StreamingMeasurement",
     "measure_batch_legalization",
     "measure_sampling_time",
     "measure_solving_time",
+    "measure_streamed_generation",
     "run_efficiency_experiment",
     "SamplingEngine",
     "SamplingReport",
+    "GenerationGraph",
+    "GenerationGraphReport",
     "resolve_seed",
     "DenoisingChain",
     "run_denoising_chain",
@@ -66,6 +74,7 @@ __all__ = [
     "patterns_under_rule_scenarios",
     "ComplexityComparison",
     "compare_complexity_distributions",
+    "compare_complexity_histograms",
     "render_topology",
     "render_pattern",
 ]

@@ -130,20 +130,21 @@ def evaluate_diffpattern(
 ) -> MethodRow:
     """Score DiffPattern-S (``num_solutions=1``) or DiffPattern-L (>1).
 
-    Legalisation goes through the sharded engine; ``workers`` overrides the
-    pipeline-config pool width for this evaluation only.
+    Generation and legalisation run through the streaming stage graph
+    (element-wise identical to the old two-barrier evaluation for the same
+    ``rng``); ``workers`` overrides the pipeline-config pool width for this
+    evaluation only.
     """
     gen = as_rng(rng)
-    topologies = pipeline.generate_topologies(num_generated, rng=gen)
-    result = pipeline.legalize(
-        topologies, num_solutions=num_solutions, rng=gen, workers=workers
+    result = pipeline.generate_and_legalize(
+        num_generated, num_solutions=num_solutions, rng=gen, workers=workers
     )
     checker = DesignRuleChecker(pipeline.config.rules)
     legal = checker.legal_subset(result.patterns)
     label = name if name is not None else ("DiffPattern-S" if num_solutions == 1 else "DiffPattern-L")
     return MethodRow(
         name=label,
-        generated_topologies=len(topologies),
+        generated_topologies=num_generated,
         generated_patterns=len(result.patterns),
         generated_diversity=result.pattern_diversity,
         legal_patterns=len(legal),

@@ -47,6 +47,10 @@ class DiffPatternConfig:
     #: Topologies per legalization pool task; ``None`` derives a balanced
     #: default from the batch and worker count.  Never changes output values.
     legalize_chunk_size: "int | None" = None
+    #: Samples pulled per streaming-generation-graph step (``None`` falls
+    #: back to ``sample_batch_size``).  Bounds peak memory of a streamed
+    #: ``run()``; the generated result is identical for any value.
+    stream_chunk_size: "int | None" = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -46,6 +46,9 @@ class GenerationResult:
     #: Throughput / statistics of the legalization engine run that produced
     #: ``patterns``.
     legalization_report: "LegalizationReport | None" = field(default=None, repr=False)
+    #: Throughput of the sampling engine run that produced ``topologies``
+    #: (``None`` for assessment-only results, e.g. :meth:`DiffPatternPipeline.legalize`).
+    sampling_report: "SamplingReport | None" = field(default=None, repr=False)
 
     @property
     def num_patterns(self) -> int:
@@ -63,6 +66,7 @@ class DiffPatternPipeline:
         self.checker = DesignRuleChecker(self.config.rules)
         self.training_history: list[dict[str, float]] = []
         self._engine: "SamplingEngine | None" = None
+        self._sampling_report: "SamplingReport | None" = None
         self._legalization_report: "LegalizationReport | None" = None
         self._legalization_engine: "LegalizationEngine | None" = None
         self._legalization_engine_key: "tuple | None" = None
@@ -130,14 +134,22 @@ class DiffPatternPipeline:
 
     @property
     def last_sampling_report(self) -> "SamplingReport | None":
-        """Per-phase throughput of the most recent generation run."""
+        """Per-phase throughput of the most recent generation run.
+
+        For a streamed run this is the aggregate over every chunk (the
+        engine's own ``last_report`` only covers the final chunk).
+        """
+        if self._sampling_report is not None:
+            return self._sampling_report
         return self._engine.last_report if self._engine is not None else None
 
     def generate_topologies(
         self, count: int, rng: "int | np.random.Generator | None" = None
     ) -> np.ndarray:
         """Sample topology tensors and unfold them into flat matrices."""
-        tensors = self.sampling_engine().sample(count, seed=rng)
+        engine = self.sampling_engine()
+        tensors = engine.sample(count, seed=rng)
+        self._sampling_report = engine.last_report
         return np.stack([unfold(t) for t in tensors], axis=0)
 
     # ------------------------------------------------------------------ #
@@ -258,6 +270,74 @@ class DiffPatternPipeline:
         return result
 
     # ------------------------------------------------------------------ #
+    # streaming generation graph
+    # ------------------------------------------------------------------ #
+    def generation_graph(
+        self,
+        chunk_size: "int | None" = None,
+        num_solutions: int = 1,
+        workers: "int | None" = None,
+        legalize_chunk_size: "int | None" = None,
+        retain_topologies: bool = True,
+        library=None,
+    ):
+        """A :class:`~repro.pipeline.GenerationGraph` over this pipeline's stages.
+
+        ``chunk_size`` defaults to :attr:`DiffPatternConfig.stream_chunk_size`
+        (falling back to ``sample_batch_size``); it only bounds peak memory —
+        the generated result is element-wise identical for any value.
+        """
+        from .stages import GenerationGraph
+
+        if chunk_size is None:
+            chunk_size = self.config.stream_chunk_size
+        if chunk_size is None:
+            chunk_size = self.config.sample_batch_size
+        return GenerationGraph(
+            self.sampling_engine(),
+            self.prefilter,
+            self.legalization_engine(workers=workers, chunk_size=legalize_chunk_size),
+            self.checker,
+            chunk_size=chunk_size,
+            num_solutions=num_solutions,
+            retain_topologies=retain_topologies,
+            library=library,
+        )
+
+    def generate_and_legalize(
+        self,
+        num_generated: int,
+        num_solutions: int = 1,
+        rng: "int | np.random.Generator | None" = None,
+        workers: "int | None" = None,
+        stream: bool = True,
+        chunk_size: "int | None" = None,
+        retain_topologies: bool = True,
+        library=None,
+        resume: bool = False,
+    ) -> GenerationResult:
+        """Sample, prefilter, legalise and score through the stage graph.
+
+        ``stream=False`` is the thin wrapper over the old monolithic path:
+        one graph chunk spanning the whole run (sample everything, then
+        assess everything).  Both paths produce element-wise identical
+        results; streaming only bounds memory and overlaps the stages.
+        """
+        if not stream:
+            chunk_size = num_generated
+        graph = self.generation_graph(
+            chunk_size=chunk_size,
+            num_solutions=num_solutions,
+            workers=workers,
+            retain_topologies=retain_topologies,
+            library=library,
+        )
+        result = graph.run(num_generated, seed=rng, resume=resume)
+        self._sampling_report = result.sampling_report
+        self._legalization_report = result.legalization_report
+        return result
+
+    # ------------------------------------------------------------------ #
     # one-call convenience
     # ------------------------------------------------------------------ #
     def run(
@@ -267,15 +347,33 @@ class DiffPatternPipeline:
         num_solutions: int = 1,
         train_iterations: "int | None" = None,
         rng: "int | np.random.Generator | None" = None,
+        stream: bool = True,
+        chunk_size: "int | None" = None,
+        library=None,
+        resume: bool = False,
     ) -> GenerationResult:
-        """Full pipeline: data -> train -> sample -> legalise -> metrics."""
+        """Full pipeline: data -> train -> stream(sample -> legalise) -> metrics.
+
+        Generation runs through the streaming stage graph; ``stream=False``
+        keeps the old single-barrier behaviour (identical output, unbounded
+        memory).  Pass ``library`` (a :class:`~repro.library.PatternLibrary`)
+        to persist every completed chunk, and ``resume=True`` to continue a
+        killed run from its manifest without re-generating finished chunks.
+        """
         gen = as_rng(rng if rng is not None else self.config.seed)
         if self.dataset is None:
             self.prepare_data(num_training_patterns, rng=gen)
         if not self.training_history:
             self.train(iterations=train_iterations, rng=gen)
-        topologies = self.generate_topologies(num_generated, rng=gen)
-        return self.legalize(topologies, num_solutions=num_solutions, rng=gen)
+        return self.generate_and_legalize(
+            num_generated,
+            num_solutions=num_solutions,
+            rng=gen,
+            stream=stream,
+            chunk_size=chunk_size,
+            library=library,
+            resume=resume,
+        )
 
 
 class DiffPatternTopologyGenerator(TopologyGenerator):

@@ -14,6 +14,7 @@ is a relative statement that the harness reproduces.
 
 from __future__ import annotations
 
+import tracemalloc
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,7 @@ from ..legalization import (
     SolverOptions,
 )
 from ..utils import Timer, as_rng
-from .diffpattern import DiffPatternPipeline
+from .diffpattern import DiffPatternPipeline, GenerationResult
 from .sampling_engine import SamplingReport
 
 
@@ -139,6 +140,61 @@ def measure_batch_legalization(
         list(topologies), num_solutions=num_solutions, seed=seed
     )
     return report
+
+
+@dataclass
+class StreamingMeasurement:
+    """End-to-end generation measured for wall-clock and Python-heap peak."""
+
+    result: GenerationResult
+    seconds: float
+    peak_bytes: int
+
+    @property
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measure_streamed_generation(
+    pipeline: DiffPatternPipeline,
+    num_generated: int,
+    chunk_size: "int | None" = None,
+    num_solutions: int = 1,
+    rng: "int | np.random.Generator | None" = 0,
+    stream: bool = True,
+    retain_topologies: bool = True,
+    workers: "int | None" = None,
+    library=None,
+    resume: bool = False,
+) -> StreamingMeasurement:
+    """Measure one end-to-end generation run through the stage graph.
+
+    ``stream=False`` measures the monolithic single-chunk path, so calling
+    this twice gives the streaming-vs-batch wall-clock and peak-allocation
+    comparison the streaming benchmark gates.  The Python-heap peak is
+    tracked with :mod:`tracemalloc` (resident-set peaks are monotone per
+    process and cannot compare two in-process runs).
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    with Timer() as timer:
+        result = pipeline.generate_and_legalize(
+            num_generated,
+            num_solutions=num_solutions,
+            rng=rng,
+            workers=workers,
+            stream=stream,
+            chunk_size=chunk_size,
+            retain_topologies=retain_topologies,
+            library=library,
+            resume=resume,
+        )
+    _, peak = tracemalloc.get_traced_memory()
+    if not was_tracing:
+        tracemalloc.stop()
+    return StreamingMeasurement(result=result, seconds=timer.elapsed, peak_bytes=peak)
 
 
 def run_efficiency_experiment(

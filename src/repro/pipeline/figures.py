@@ -13,7 +13,7 @@ import numpy as np
 
 from ..drc import DesignRuleChecker
 from ..legalization import DesignRules, LegalizationEngine
-from ..metrics import complexity_distribution, pattern_complexity
+from ..metrics import ComplexityHistogram, complexity_distribution, pattern_complexity
 from ..squish import SquishPattern, unfold
 from ..utils import child_rng, resolve_seed
 from .diffpattern import DiffPatternPipeline
@@ -184,6 +184,29 @@ def compare_complexity_distributions(
         bins = largest
     real_dist, _, _ = complexity_distribution(real, bins=bins)
     generated_dist, _, _ = complexity_distribution(generated, bins=bins)
+    return ComplexityComparison(
+        real_distribution=real_dist, generated_distribution=generated_dist, bins=bins
+    )
+
+
+def compare_complexity_histograms(
+    real: ComplexityHistogram,
+    generated: ComplexityHistogram,
+    bins: "int | None" = None,
+) -> ComplexityComparison:
+    """Fig. 9 comparison from streaming accumulators instead of pattern lists.
+
+    A streamed run (or a resumed :class:`~repro.library.PatternLibrary`)
+    carries :class:`~repro.metrics.ComplexityHistogram` accumulators; this
+    builds the same two 2-D distributions without materialising the pattern
+    libraries, and matches :func:`compare_complexity_distributions` exactly
+    on the same complexity multisets.
+    """
+    if bins is None:
+        largest = max(real.max_coordinate(), generated.max_coordinate(), 0)
+        bins = max(largest + 1, 2)
+    real_dist, _, _ = real.distribution(bins=bins)
+    generated_dist, _, _ = generated.distribution(bins=bins)
     return ComplexityComparison(
         real_distribution=real_dist, generated_distribution=generated_dist, bins=bins
     )

@@ -68,6 +68,18 @@ class SamplingReport:
         """Share of wall-clock spent inside the denoising network."""
         return self.model_seconds / self.total_seconds if self.total_seconds else 0.0
 
+    def merge(self, other: "SamplingReport") -> "SamplingReport":
+        """Fold another report into this one (streamed-run aggregation)."""
+        self.num_samples += other.num_samples
+        self.num_chunks += other.num_chunks
+        self.total_seconds += other.total_seconds
+        self.model_seconds += other.model_seconds
+        self.mixing_seconds += other.mixing_seconds
+        self.init_seconds += other.init_seconds
+        self.num_steps = max(self.num_steps, other.num_steps)
+        self.batch_size = max(self.batch_size, other.batch_size)
+        return self
+
     def format(self) -> str:
         lines = [
             f"samples            {self.num_samples} "
@@ -129,10 +141,21 @@ class SamplingEngine:
         seed: "int | np.random.Generator | None" = 0,
         greedy_final: bool = True,
         batch_size: "int | None" = None,
+        first_index: int = 0,
     ) -> np.ndarray:
-        """Draw ``num_samples`` topology tensors; shape ``(N, C, M, M)``."""
+        """Draw ``num_samples`` topology tensors; shape ``(N, C, M, M)``.
+
+        ``first_index`` offsets the per-sample streams: the call draws the
+        samples owned by indices ``[first_index, first_index + num_samples)``
+        of the seed's virtual sequence, so a streaming caller pulling
+        consecutive windows reproduces one monolithic call bit for bit.
+        """
         samples, _ = self.sample_with_report(
-            num_samples, seed=seed, greedy_final=greedy_final, batch_size=batch_size
+            num_samples,
+            seed=seed,
+            greedy_final=greedy_final,
+            batch_size=batch_size,
+            first_index=first_index,
         )
         return samples
 
@@ -142,6 +165,7 @@ class SamplingEngine:
         seed: "int | np.random.Generator | None" = 0,
         greedy_final: bool = True,
         batch_size: "int | None" = None,
+        first_index: int = 0,
     ) -> tuple[np.ndarray, SamplingReport]:
         """Like :meth:`sample` but also returns the per-phase throughput."""
         samples, _, report = self._run(
@@ -150,6 +174,7 @@ class SamplingEngine:
             greedy_final=greedy_final,
             batch_size=batch_size,
             recorder=None,
+            first_index=first_index,
         )
         return samples, report
 
@@ -174,6 +199,7 @@ class SamplingEngine:
             greedy_final=greedy_final,
             batch_size=batch_size,
             recorder=recorder_stride,
+            first_index=0,
         )
         return samples, chains
 
@@ -187,9 +213,12 @@ class SamplingEngine:
         greedy_final: bool,
         batch_size: "int | None",
         recorder: "int | None",
+        first_index: int = 0,
     ) -> tuple[np.ndarray, list[np.ndarray], SamplingReport]:
         if num_samples < 1:
             raise ValueError("num_samples must be >= 1")
+        if first_index < 0:
+            raise ValueError("first_index must be >= 0")
         base_seed = resolve_seed(seed)
         chunk_size = self.batch_size if batch_size is None else max(1, int(batch_size))
         num_steps = self.diffusion.config.num_steps
@@ -209,7 +238,10 @@ class SamplingEngine:
         chunk_chains: list[list[np.ndarray]] = []
         try:
             for start in range(0, num_samples, chunk_size):
-                indices = range(start, min(start + chunk_size, num_samples))
+                indices = range(
+                    first_index + start,
+                    first_index + min(start + chunk_size, num_samples),
+                )
                 chain = self._denoise_chunk(
                     base_seed, indices, greedy_final, recorder, report, finals
                 )

@@ -1,0 +1,446 @@
+"""Streaming generation stage graph: sample → prefilter → legalize → DRC.
+
+:class:`GenerationGraph` replaces the barrier orchestration of the original
+``DiffPatternPipeline.run`` (materialise *every* sample, then prefilter all
+of them, then legalise all of them, then compute metrics once) with a pull
+pipeline over fixed-size chunks:
+
+.. code-block:: text
+
+    SamplingEngine ──chunk──▶ unfold ──▶ TopologyPrefilter ──kept──▶
+        LegalizationEngine ──patterns──▶ DesignRuleChecker ──▶
+            incremental accumulators (+ optional PatternLibrary shard)
+
+Each chunk flows through every stage before the next chunk is sampled, so
+
+* peak memory is bounded by the chunk size, not the run size (pass
+  ``retain_topologies=False`` to also drop the raw matrices),
+* legalisation starts after the first chunk instead of after the last, and
+* a run wired to a :class:`~repro.library.PatternLibrary` persists every
+  completed chunk and can be killed and resumed from the manifest.
+
+**Parity contract.**  Both engines seed every element index independently
+(``SeedSequence(seed, index)``) and accept a ``first_index`` stream offset,
+and the metric accumulators (:class:`~repro.metrics.ComplexityHistogram`,
+integer legality counters) reproduce the batch formulas exactly — so the
+streamed :class:`~repro.pipeline.GenerationResult` is element-wise identical
+to the monolithic run for *any* chunk size and worker count: same patterns,
+same diversity H bit for bit, same legality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..drc import DesignRuleChecker
+from ..legalization import LegalizationEngine, LegalizationReport, LegalizationStats
+from ..library import ChunkRecord, PatternLibrary
+from ..metrics import ComplexityHistogram, pattern_complexity, topology_complexity
+from ..prefilter import TopologyPrefilter
+from ..squish import SquishPattern, unfold
+from ..utils import resolve_seed
+from .diffpattern import GenerationResult
+from .sampling_engine import SamplingEngine, SamplingReport
+
+__all__ = ["GenerationGraph", "GenerationGraphReport"]
+
+
+def _references_digest(references: "list[tuple[np.ndarray, np.ndarray]]") -> str:
+    """Stable digest of a warm-start reference-geometry library.
+
+    The references steer the legaliser's ``Solving-E`` targets, so two runs
+    with different libraries produce different patterns — the digest makes
+    that visible to the resume fingerprint.
+    """
+    digest = hashlib.sha1()
+    digest.update(str(len(references)).encode())
+    for pair in references:
+        for vector in pair:
+            arr = np.ascontiguousarray(np.asarray(vector, dtype=np.float64))
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class GenerationGraphReport:
+    """Per-stage accounting of one streamed generation run."""
+
+    num_requested: int
+    chunk_size: int
+    num_chunks: int
+    chunks_live: int = 0
+    chunks_resumed: int = 0
+    total_seconds: float = 0.0
+    prefilter_seconds: float = 0.0
+    drc_seconds: float = 0.0
+    #: Merged engine reports; cover only the chunks generated live (resumed
+    #: chunks replay their stored solver statistics but not wall-clock).
+    sampling_report: "SamplingReport | None" = field(default=None, repr=False)
+    legalization_report: "LegalizationReport | None" = field(default=None, repr=False)
+
+    def format(self) -> str:
+        lines = [
+            f"chunks             {self.num_chunks} x <= {self.chunk_size} "
+            f"({self.chunks_live} generated, {self.chunks_resumed} resumed)",
+            f"total              {self.total_seconds:.4f} s "
+            f"(prefilter {self.prefilter_seconds:.4f} s, DRC {self.drc_seconds:.4f} s)",
+        ]
+        if self.sampling_report is not None:
+            lines += ["", "sampling stage:", self.sampling_report.format()]
+        if self.legalization_report is not None:
+            lines += ["", "legalization stage:", self.legalization_report.format()]
+        return "\n".join(lines)
+
+
+class _Accumulators:
+    """Streaming state folded chunk by chunk (or from resumed records)."""
+
+    def __init__(self, retain_topologies: bool) -> None:
+        self.retain_topologies = retain_topologies
+        self.topology_chunks: list[np.ndarray] = []
+        self.kept_topologies: list[np.ndarray] = []
+        self.patterns: list[SquishPattern] = []
+        self.topology_histogram = ComplexityHistogram()
+        self.pattern_histogram = ComplexityHistogram()
+        self.num_sampled = 0
+        self.num_kept = 0
+        self.num_rejected = 0
+        self.unsolved = 0
+        self.num_patterns = 0
+        self.num_clean = 0
+
+    # -- formulas identical to the batch path -------------------------- #
+    @property
+    def prefilter_reject_rate(self) -> float:
+        total = self.num_kept + self.num_rejected
+        if not total:
+            return 0.0
+        return 1.0 - self.num_kept / total
+
+    @property
+    def topology_diversity(self) -> float:
+        return self.topology_histogram.diversity() if self.num_sampled else 0.0
+
+    @property
+    def pattern_diversity(self) -> float:
+        return self.pattern_histogram.diversity() if self.num_patterns else 0.0
+
+    @property
+    def legality(self) -> float:
+        return float(self.num_clean) / self.num_patterns if self.num_patterns else 0.0
+
+    def topologies_array(self) -> np.ndarray:
+        if not self.topology_chunks:
+            return np.empty((0, 0, 0), dtype=np.uint8)
+        if len(self.topology_chunks) == 1:
+            return np.asarray(self.topology_chunks[0])
+        return np.concatenate(self.topology_chunks, axis=0)
+
+
+class GenerationGraph:
+    """Chunked streaming orchestration of the three DiffPattern phases.
+
+    Parameters
+    ----------
+    sampling_engine / prefilter / legalization_engine / checker:
+        The stage implementations (the pipeline wires its own).
+    chunk_size:
+        Samples pulled per graph step.  A pure memory/latency knob — output
+        is element-wise identical for any value.
+    num_solutions:
+        Geometric solutions per kept topology (DiffPattern-S/L).
+    retain_topologies:
+        Keep the raw/kept topology matrices on the result.  Disable for
+        bounded-memory production runs; metrics are unaffected (they are
+        accumulated incrementally either way).
+    library:
+        Optional :class:`~repro.library.PatternLibrary`.  Every completed
+        chunk is persisted (shard + manifest record); with ``resume=True``
+        chunks already in the manifest are folded from disk instead of
+        re-generated.
+    """
+
+    def __init__(
+        self,
+        sampling_engine: SamplingEngine,
+        prefilter: TopologyPrefilter,
+        legalization_engine: LegalizationEngine,
+        checker: DesignRuleChecker,
+        chunk_size: int = 32,
+        num_solutions: int = 1,
+        retain_topologies: bool = True,
+        library: "PatternLibrary | None" = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if num_solutions < 1:
+            raise ValueError("num_solutions must be >= 1")
+        self.sampling_engine = sampling_engine
+        self.prefilter = prefilter
+        self.legalization_engine = legalization_engine
+        self.checker = checker
+        self.chunk_size = int(chunk_size)
+        self.num_solutions = int(num_solutions)
+        self.retain_topologies = bool(retain_topologies)
+        self.library = library
+        self.last_report: "GenerationGraphReport | None" = None
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, num_samples: int, sample_seed: int, legal_seed: int) -> dict:
+        """The resume-safety identity of a run.
+
+        Covers the seeds, the shape-changing knobs, the active design rules /
+        prefilter configuration and the warm-start reference library —
+        resuming under different rules or references would silently mix
+        incompatibly-legalised chunks.  Model weights are *not*
+        fingerprinted: reload the same checkpoint before resuming (the
+        per-index seeding makes any weight change visibly alter the output,
+        but the manifest cannot detect it).
+        """
+        return {
+            "num_samples": int(num_samples),
+            "sample_seed": int(sample_seed),
+            "legal_seed": int(legal_seed),
+            "chunk_size": self.chunk_size,
+            "num_solutions": self.num_solutions,
+            "rules": repr(self.legalization_engine.rules),
+            "prefilter": repr(self.prefilter.config),
+            "references": _references_digest(self.legalization_engine.reference_geometries),
+        }
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        num_samples: int,
+        seed: "int | np.random.Generator | None" = 0,
+        resume: bool = False,
+        stop_after_chunks: "int | None" = None,
+    ) -> GenerationResult:
+        """Stream ``num_samples`` topologies through the full graph.
+
+        ``seed`` follows the pipeline convention: the sampling stage resolves
+        one base seed from it, then the legalization stage resolves a second
+        — the exact draws the batch path makes, so batch and streamed runs
+        coincide.  ``stop_after_chunks`` ends the run early after that many
+        chunks (the "kill" half of the resume tests and of incremental
+        library building); the returned result covers only the completed
+        chunks.
+
+        A resumed result carries no raw ``topologies`` / ``kept_topologies``
+        (the matrices of resumed chunks were never persisted and a partial
+        array would misrepresent the run); patterns, reports and metrics
+        still cover every chunk.
+        """
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        sample_seed = resolve_seed(seed)
+        legal_seed = resolve_seed(seed)
+
+        starts = list(range(0, num_samples, self.chunk_size))
+        report = GenerationGraphReport(
+            num_requested=num_samples,
+            chunk_size=self.chunk_size,
+            num_chunks=len(starts),
+        )
+        resumed: dict[int, ChunkRecord] = {}
+        if self.library is not None:
+            records = self.library.bind(
+                self.fingerprint(num_samples, sample_seed, legal_seed), resume=resume
+            )
+            resumed = {record.chunk: record for record in records}
+
+        acc = _Accumulators(self.retain_topologies)
+        resumed_stats = LegalizationStats()
+        start_total = time.perf_counter()
+        # One process pool for the whole run (no-op at workers=1): without it
+        # a streamed run would pay pool startup — and re-ship the reference
+        # library to every worker — once per chunk instead of once.
+        with self.legalization_engine.pool():
+            for chunk_index, start in enumerate(starts):
+                if stop_after_chunks is not None and chunk_index >= stop_after_chunks:
+                    break
+                size = min(self.chunk_size, num_samples - start)
+                if chunk_index in resumed:
+                    self._fold_record(resumed[chunk_index], acc, resumed_stats)
+                    report.chunks_resumed += 1
+                    continue
+                self._run_chunk(chunk_index, start, size, sample_seed, legal_seed, acc, report)
+                report.chunks_live += 1
+        report.total_seconds = time.perf_counter() - start_total
+
+        if report.chunks_resumed:
+            # Raw matrices of resumed chunks were never persisted; a partial
+            # topologies array would silently misrepresent the run, so a
+            # resumed result carries none (patterns and metrics still cover
+            # every chunk).
+            acc.topology_chunks = []
+            acc.kept_topologies = []
+
+        legalization_report = report.legalization_report
+        if resumed_stats.attempted:
+            # Solver statistics of resumed chunks replay from the manifest so
+            # the merged stats cover the whole library, not just live chunks.
+            if legalization_report is None:
+                legalization_report = LegalizationReport(
+                    num_topologies=0,
+                    num_solutions=self.num_solutions,
+                    workers=self.legalization_engine.workers,
+                    chunk_size=self.chunk_size,
+                    num_chunks=0,
+                )
+                report.legalization_report = legalization_report
+            legalization_report.stats.merge(resumed_stats)
+            legalization_report.solver_seconds = legalization_report.stats.total_solver_time
+
+        self.last_report = report
+        return GenerationResult(
+            topologies=acc.topologies_array(),
+            kept_topologies=acc.kept_topologies,
+            prefilter_reject_rate=acc.prefilter_reject_rate,
+            patterns=acc.patterns,
+            unsolved=acc.unsolved,
+            topology_diversity=acc.topology_diversity,
+            pattern_diversity=acc.pattern_diversity,
+            legality=acc.legality,
+            legalization_report=report.legalization_report,
+            sampling_report=report.sampling_report,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _run_chunk(
+        self,
+        chunk_index: int,
+        start: int,
+        size: int,
+        sample_seed: int,
+        legal_seed: int,
+        acc: _Accumulators,
+        report: GenerationGraphReport,
+    ) -> None:
+        """Pull one chunk through every stage and fold it into ``acc``."""
+        tensors, sampling_report = self.sampling_engine.sample_with_report(
+            size, seed=sample_seed, first_index=start
+        )
+        if report.sampling_report is None:
+            report.sampling_report = sampling_report
+        else:
+            report.sampling_report.merge(sampling_report)
+        matrices = np.stack([unfold(t) for t in tensors], axis=0)
+
+        tic = time.perf_counter()
+        filtered = self.prefilter.filter(list(matrices))
+        report.prefilter_seconds += time.perf_counter() - tic
+
+        # The stream offset is the number of topologies that survived the
+        # prefilter in *earlier* chunks: kept topology k owns the stream
+        # (legal_seed, k) exactly as in the monolithic batch call.
+        results, legalization_report = self.legalization_engine.legalize_batch_with_report(
+            filtered.kept,
+            num_solutions=self.num_solutions,
+            seed=legal_seed,
+            first_index=acc.num_kept,
+        )
+        if report.legalization_report is None:
+            report.legalization_report = legalization_report
+        else:
+            report.legalization_report.merge(legalization_report)
+
+        chunk_patterns = [p for r in results for p in r.patterns]
+        # With a deduplicating library, the result (and every metric on it)
+        # describes exactly the patterns that are kept — otherwise legality
+        # and diversity would be computed over patterns the caller never
+        # sees.  Without dedup (the default) every produced pattern is kept,
+        # which is what the batch-parity contract requires.
+        if self.library is not None and self.library.dedup:
+            keep = self.library.plan_chunk(chunk_patterns)
+            kept_patterns = [p for p, flag in zip(chunk_patterns, keep) if flag]
+        else:
+            kept_patterns = chunk_patterns
+
+        tic = time.perf_counter()
+        num_clean = (
+            int(self.checker.legality_mask(kept_patterns).sum()) if kept_patterns else 0
+        )
+        report.drc_seconds += time.perf_counter() - tic
+
+        topology_hist = ComplexityHistogram([topology_complexity(m) for m in matrices])
+        pattern_hist = ComplexityHistogram([pattern_complexity(p) for p in kept_patterns])
+        acc.num_sampled += size
+        acc.num_kept += len(filtered.kept)
+        acc.num_rejected += len(filtered.rejected)
+        acc.unsolved += sum(1 for r in results if not r.solved)
+        acc.num_patterns += len(kept_patterns)
+        acc.num_clean += num_clean
+        acc.topology_histogram.merge(topology_hist)
+        acc.pattern_histogram.merge(pattern_hist)
+        if acc.retain_topologies:
+            acc.topology_chunks.append(matrices)
+            acc.kept_topologies.extend(filtered.kept)
+
+        stored = kept_patterns
+        if self.library is not None:
+            record = ChunkRecord(
+                chunk=chunk_index,
+                start=start,
+                num_sampled=size,
+                num_kept=len(filtered.kept),
+                num_rejected=len(filtered.rejected),
+                unsolved=sum(1 for r in results if not r.solved),
+                num_patterns=len(chunk_patterns),
+                num_stored=0,
+                duplicates_skipped=0,
+                num_clean=num_clean,
+                shard=None,
+                topology_complexity_counts=topology_hist.as_records(),
+                pattern_complexity_counts=pattern_hist.as_records(),
+                stats={
+                    "attempted": legalization_report.stats.attempted,
+                    "solved": legalization_report.stats.solved,
+                    "failed": legalization_report.stats.failed,
+                    "solutions": legalization_report.stats.solutions,
+                    "total_iterations": legalization_report.stats.total_iterations,
+                    "total_solver_time": legalization_report.stats.total_solver_time,
+                },
+            )
+            stored = self.library.append_chunk(record, chunk_patterns)
+        acc.patterns.extend(stored)
+
+    def _fold_record(
+        self,
+        record: ChunkRecord,
+        acc: _Accumulators,
+        resumed_stats: LegalizationStats,
+    ) -> None:
+        """Fold one already-completed chunk (manifest + shard) into ``acc``."""
+        acc.num_sampled += record.num_sampled
+        acc.num_kept += record.num_kept
+        acc.num_rejected += record.num_rejected
+        acc.unsolved += record.unsolved
+        acc.num_patterns += record.num_stored
+        acc.num_clean += record.num_clean
+        acc.topology_histogram.merge(
+            ComplexityHistogram.from_records(record.topology_complexity_counts)
+        )
+        acc.pattern_histogram.merge(
+            ComplexityHistogram.from_records(record.pattern_complexity_counts)
+        )
+        acc.patterns.extend(self.library.load_chunk_patterns(record.chunk))
+        stats = record.stats
+        if stats:
+            resumed_stats.merge(
+                LegalizationStats(
+                    attempted=int(stats.get("attempted", 0)),
+                    solved=int(stats.get("solved", 0)),
+                    failed=int(stats.get("failed", 0)),
+                    total_solver_time=float(stats.get("total_solver_time", 0.0)),
+                    total_iterations=int(stats.get("total_iterations", 0)),
+                    solutions=int(stats.get("solutions", 0)),
+                )
+            )

@@ -98,6 +98,71 @@ class SquishPattern:
             origin=(layout.window.x1, layout.window.y1),
         )
 
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The pattern as a flat ``name -> array`` dict (the npz codec).
+
+        This is the canonical serialised form: :meth:`save` writes exactly
+        these arrays to a single-pattern ``.npz`` file, and the
+        :class:`~repro.library.PatternLibrary` shards store the same arrays
+        under per-pattern key prefixes.
+        """
+        return {
+            "topology": self.topology,
+            "delta_x": self.delta_x,
+            "delta_y": self.delta_y,
+            "origin": np.asarray(self.origin, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: "dict[str, np.ndarray]", source: str = "arrays") -> "SquishPattern":
+        """Rebuild a pattern from :meth:`as_arrays` output.
+
+        Missing keys and shape-mismatched components raise a ``ValueError``
+        naming ``source`` (e.g. the offending file) instead of a bare
+        constructor error.
+        """
+        missing = [key for key in ("topology", "delta_x", "delta_y") if key not in arrays]
+        if missing:
+            raise ValueError(
+                f"{source} is not a squish pattern: missing array(s) {', '.join(missing)}"
+            )
+        origin = arrays.get("origin")
+        if origin is not None:
+            origin_array = np.asarray(origin, dtype=np.int64).ravel()
+            if origin_array.shape != (2,):
+                raise ValueError(f"{source} has a malformed origin (expected 2 values)")
+            origin_tuple = (int(origin_array[0]), int(origin_array[1]))
+        else:
+            origin_tuple = (0, 0)
+        try:
+            return cls(
+                topology=np.asarray(arrays["topology"]),
+                delta_x=np.asarray(arrays["delta_x"]),
+                delta_y=np.asarray(arrays["delta_y"]),
+                origin=origin_tuple,
+            )
+        except ValueError as error:
+            raise ValueError(f"{source} holds an invalid squish pattern: {error}") from error
+
+    def save(self, path) -> None:
+        """Write the pattern to a single-pattern ``.npz`` file (lossless)."""
+        np.savez_compressed(path, **self.as_arrays())
+
+    @classmethod
+    def load(cls, path) -> "SquishPattern":
+        """Load a pattern saved by :meth:`save`.
+
+        Files whose topology does not match the delta-vector lengths (or with
+        missing components) are rejected with a ``ValueError`` that names the
+        file.
+        """
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+        return cls.from_arrays(arrays, source=str(path))
+
     def is_equivalent_to(self, other: "SquishPattern") -> bool:
         """Geometric equivalence: both describe the same physical layout.
 

@@ -78,6 +78,46 @@ class TestShardInvariance:
         chunked = engine.legalize_batch(topology_batch, num_solutions=2, seed=5, chunk_size=chunk)
         assert signatures(reference) == signatures(chunked)
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_first_index_offsets_the_streams(self, rules, topology_batch, workers):
+        # Windowed legalisation equals the same window of one monolithic
+        # call — the streaming graph legalises consecutive kept-windows
+        # through exactly this offset (including across the process pool).
+        engine = LegalizationEngine(rules, workers=workers)
+        full = engine.legalize_batch(topology_batch, num_solutions=2, seed=9)
+        window = engine.legalize_batch(
+            topology_batch[2:5], num_solutions=2, seed=9, first_index=2
+        )
+        assert signatures(full[2:5]) == signatures(window)
+
+    def test_persistent_pool_matches_per_call_pools(self, rules, topology_batch):
+        # The streaming graph holds one pool across all its chunk calls;
+        # the output must equal fresh-pool-per-call runs exactly.
+        engine = LegalizationEngine(rules, workers=2)
+        reference = signatures(engine.legalize_batch(topology_batch, num_solutions=2, seed=9))
+        with engine.pool():
+            first = engine.legalize_batch(topology_batch[:3], num_solutions=2, seed=9)
+            second = engine.legalize_batch(
+                topology_batch[3:], num_solutions=2, seed=9, first_index=3
+            )
+            # Re-entering is a no-op, not a second pool.
+            with engine.pool():
+                assert engine._pool is not None
+        assert engine._pool is None
+        assert signatures(first + second) == reference
+
+    def test_pool_is_noop_for_serial_engine(self, rules, topology_batch):
+        engine = LegalizationEngine(rules, workers=1)
+        with engine.pool():
+            assert engine._pool is None
+            results = engine.legalize_batch(topology_batch, seed=2)
+        assert signatures(results) == signatures(engine.legalize_batch(topology_batch, seed=2))
+
+    def test_first_index_rejects_negative(self, rules, topology_batch):
+        engine = LegalizationEngine(rules, workers=1)
+        with pytest.raises(ValueError):
+            engine.legalize_batch(topology_batch, seed=0, first_index=-1)
+
     def test_parallel_chunking_matrix(self, rules, topology_batch):
         engine = LegalizationEngine(rules, workers=1)
         reference = signatures(engine.legalize_batch(topology_batch, seed=11))

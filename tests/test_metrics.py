@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.metrics import (
+    ComplexityHistogram,
     ValidityConfig,
     ValidityScorer,
     complexity_distribution,
@@ -126,3 +127,54 @@ class TestValidityScorer:
     def test_flatten_validates_rank(self):
         with pytest.raises(ValueError):
             ValidityScorer._flatten(np.zeros((4, 4)))
+
+
+class TestComplexityHistogram:
+    PAIRS = [(3, 2), (1, 1), (3, 2), (0, 5), (1, 1), (3, 2), (7, 0)]
+
+    def test_streaming_diversity_is_bit_identical_to_batch(self):
+        histogram = ComplexityHistogram()
+        for pair in self.PAIRS:
+            histogram.add(*pair)
+        assert histogram.diversity() == diversity_from_complexities(self.PAIRS)
+        # Insertion order is irrelevant: the counts sort like np.unique rows.
+        shuffled = ComplexityHistogram(list(reversed(self.PAIRS)))
+        assert shuffled.diversity() == histogram.diversity()
+
+    def test_merge_equals_single_accumulation(self):
+        a = ComplexityHistogram(self.PAIRS[:3])
+        b = ComplexityHistogram(self.PAIRS[3:])
+        assert a.merge(b) == ComplexityHistogram(self.PAIRS)
+        assert a.total == len(self.PAIRS)
+
+    def test_counts_and_pairs(self):
+        histogram = ComplexityHistogram(self.PAIRS)
+        assert histogram.count(3, 2) == 3
+        assert histogram.count(9, 9) == 0
+        assert histogram.num_distinct == 4
+        assert len(histogram) == len(self.PAIRS)
+        assert histogram.pairs() == sorted(self.PAIRS)
+
+    def test_empty_histogram(self):
+        histogram = ComplexityHistogram()
+        assert histogram.diversity() == 0.0
+        assert histogram.total == 0
+        assert histogram.pairs() == []
+
+    def test_records_roundtrip(self):
+        histogram = ComplexityHistogram(self.PAIRS)
+        rebuilt = ComplexityHistogram.from_records(histogram.as_records())
+        assert rebuilt == histogram
+        assert rebuilt.diversity() == histogram.diversity()
+
+    def test_distribution_matches_batch_function(self):
+        histogram = ComplexityHistogram(self.PAIRS)
+        probs_a, xs_a, ys_a = histogram.distribution(bins=8)
+        probs_b, xs_b, ys_b = complexity_distribution(sorted(self.PAIRS), bins=8)
+        np.testing.assert_array_equal(probs_a, probs_b)
+        np.testing.assert_array_equal(xs_a, xs_b)
+        np.testing.assert_array_equal(ys_a, ys_b)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            ComplexityHistogram().add(1, 1, count=0)

@@ -142,6 +142,17 @@ class TestEngineParity:
         few = engine.sample(3, seed=4)
         np.testing.assert_array_equal(many[:3], few)
 
+    def test_first_index_offsets_the_stream(self, engine):
+        # A windowed pull equals the same window of one monolithic call:
+        # the streaming graph's chunked sampling rests on this.
+        full = engine.sample(6, seed=4)
+        window = engine.sample(3, seed=4, first_index=2)
+        np.testing.assert_array_equal(full[2:5], window)
+
+    def test_first_index_rejects_negative(self, engine):
+        with pytest.raises(ValueError):
+            engine.sample(2, seed=0, first_index=-1)
+
     def test_inference_and_taped_paths_agree(self, diffusion):
         fast = SamplingEngine(diffusion, batch_size=4, inference=True)
         slow = SamplingEngine(diffusion, batch_size=4, inference=False)

@@ -54,6 +54,64 @@ class TestSquishPattern:
             empty_pattern(size_nm=100, cells=3)
 
 
+class TestSquishPersistence:
+    def _pattern(self) -> SquishPattern:
+        topo = np.zeros((3, 4), dtype=np.uint8)
+        topo[0, 1:3] = 1
+        topo[2, 0] = 1
+        return SquishPattern(topo, [10, 20, 30, 40], [7, 8, 9], origin=(100, -50))
+
+    def test_npz_roundtrip_is_exact(self, tmp_path):
+        pattern = self._pattern()
+        path = tmp_path / "pattern.npz"
+        pattern.save(path)
+        loaded = SquishPattern.load(path)
+        np.testing.assert_array_equal(loaded.topology, pattern.topology)
+        np.testing.assert_array_equal(loaded.delta_x, pattern.delta_x)
+        np.testing.assert_array_equal(loaded.delta_y, pattern.delta_y)
+        assert loaded.origin == pattern.origin
+        assert loaded.delta_x.dtype == np.int64
+
+    def test_load_rejects_shape_mismatch_with_file_context(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            topology=np.zeros((2, 2), dtype=np.uint8),
+            delta_x=np.asarray([1, 2, 3], dtype=np.int64),
+            delta_y=np.asarray([1, 2], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="bad.npz"):
+            SquishPattern.load(path)
+
+    def test_load_rejects_missing_arrays(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, topology=np.zeros((1, 1), dtype=np.uint8))
+        with pytest.raises(ValueError, match="missing"):
+            SquishPattern.load(path)
+
+    def test_load_rejects_malformed_origin(self, tmp_path):
+        path = tmp_path / "origin.npz"
+        np.savez(
+            path,
+            topology=np.zeros((1, 1), dtype=np.uint8),
+            delta_x=np.asarray([5], dtype=np.int64),
+            delta_y=np.asarray([5], dtype=np.int64),
+            origin=np.asarray([1, 2, 3], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="origin"):
+            SquishPattern.load(path)
+
+    def test_load_defaults_origin(self, tmp_path):
+        path = tmp_path / "no_origin.npz"
+        np.savez(
+            path,
+            topology=np.zeros((1, 1), dtype=np.uint8),
+            delta_x=np.asarray([5], dtype=np.int64),
+            delta_y=np.asarray([5], dtype=np.int64),
+        )
+        assert SquishPattern.load(path).origin == (0, 0)
+
+
 class TestSquishRoundtrip:
     def test_encode_decode_is_lossless(self):
         layout = _sample_layout()
