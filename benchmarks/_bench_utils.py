@@ -39,6 +39,33 @@ else:
 #: keeps local runs serial (and timing noise-free) unless asked otherwise.
 BENCH_WORKERS = max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1") or 1))
 
+#: The registry scenario every table/figure harness runs under.  The
+#: benchmark conftest lowers it (with the fast-mode / worker scales above
+#: layered as overrides) instead of hand-rolling a config literal.
+BENCH_SCENARIO = "paper-tables"
+
+
+def bench_plan():
+    """The lowered run plan of the benchmark scenario at the active scale.
+
+    ``BENCH_SCENARIO`` is resolved from the builtin registry and the module's
+    scale constants (which shrink under ``REPRO_BENCH_FAST``) plus
+    ``BENCH_WORKERS`` are layered over it exactly like an ``extends`` child —
+    in a full-scale run the overrides coincide with the scenario's own values,
+    so the benchmark regime *is* the registry regime.
+    """
+    from repro.scenarios import builtin_registry
+
+    spec = builtin_registry().resolve(BENCH_SCENARIO).with_overrides(
+        {
+            "diffusion": {"num_steps": DIFFUSION_STEPS},
+            "training": {"iterations": TRAIN_ITERATIONS, "num_patterns": TRAIN_PATTERNS},
+            "engine": {"workers": BENCH_WORKERS},
+            "run": {"num_generated": NUM_GENERATED},
+        }
+    )
+    return spec.lower()
+
 
 def write_result(name: str, text: str) -> Path:
     """Persist a benchmark artefact under ``benchmarks/results`` and echo it."""

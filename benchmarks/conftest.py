@@ -15,35 +15,30 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _bench_utils import (
-    BENCH_WORKERS,
-    DIFFUSION_STEPS,
-    NUM_GENERATED,
-    TRAIN_ITERATIONS,
-    TRAIN_PATTERNS,
-)
+from _bench_utils import NUM_GENERATED, TRAIN_ITERATIONS, bench_plan
 
 from repro.data import LayoutPatternDataset
-from repro.diffusion import DiffusionConfig
 from repro.pipeline import DiffPatternConfig, DiffPatternPipeline
 
 
 @pytest.fixture(scope="session")
 def bench_config() -> DiffPatternConfig:
-    """Laptop-scale DiffPattern configuration used by every benchmark."""
-    config = DiffPatternConfig.tiny()
-    config.diffusion = DiffusionConfig(num_steps=DIFFUSION_STEPS, lambda_ce=0.05)
-    config.train_iterations = TRAIN_ITERATIONS
-    # Sharded legalisation: REPRO_BENCH_WORKERS widens the pool (CI uses 4).
-    # Results are element-wise identical for any width.
-    config.workers = BENCH_WORKERS
-    return config
+    """The benchmark configuration, lowered from the ``paper-tables`` scenario.
+
+    The registry scenario replaces the old hand-rolled literal and lowers to
+    the bit-identical config (asserted by ``tests/test_scenarios.py``); the
+    fast-mode scales and ``REPRO_BENCH_WORKERS`` ride in as spec overrides.
+    Results are element-wise identical for any worker count.
+    """
+    return bench_plan().config
 
 
 @pytest.fixture(scope="session")
 def bench_dataset(bench_config) -> LayoutPatternDataset:
     """The synthetic pattern library shared by all methods."""
-    return LayoutPatternDataset.synthesize(TRAIN_PATTERNS, bench_config.dataset, rng=0)
+    return LayoutPatternDataset.synthesize(
+        bench_plan().num_training_patterns, bench_config.dataset, rng=0
+    )
 
 
 @pytest.fixture(scope="session")

@@ -5,10 +5,12 @@ generation and legalisation are decoupled, so when the foundry updates the
 design rules the existing topology pool can simply be re-legalised under the
 new rules; no new model, no new training run.
 
-The example takes one topology pool and legalises it under three rule sets
-(the Fig. 8 scenarios): the normal rules, a larger minimum spacing and a
-smaller maximum polygon area, then shows how legality under the *new* rules
-compares to naively reusing the old geometries.
+The example takes one topology pool and legalises it under three rule
+regimes drawn from the scenario registry (``repro.scenarios``): the normal
+rules of ``paper-tables``, the larger minimum spacing of ``sparse``
+(Fig. 8b) and the smaller maximum polygon area of ``rule-migration``
+(Fig. 8c), then shows how legality under the *new* rules compares to naively
+reusing the old geometries.
 
 Usage::
 
@@ -24,26 +26,25 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import DatasetConfig, LayoutPatternDataset
 from repro.drc import DesignRuleChecker
-from repro.legalization import (
-    LARGER_SPACE_RULES,
-    NORMAL_RULES,
-    SMALLER_AREA_RULES,
-    Legalizer,
-)
+from repro.legalization import Legalizer
+from repro.scenarios import builtin_registry
 
 
 def main() -> int:
+    # Each rule regime is named by a registry scenario; lowering one yields
+    # the DesignRules the rest of the system would run under.
+    registry = builtin_registry()
+    scenarios = [
+        (name, registry.resolve(name).lower().config.rules)
+        for name in ("paper-tables", "sparse", "rule-migration")
+    ]
+    normal_rules = scenarios[0][1]
+
     dataset = LayoutPatternDataset.synthesize(
-        64, DatasetConfig(matrix_size=16, channels=4, rules=NORMAL_RULES), rng=0
+        64, DatasetConfig(matrix_size=16, channels=4, rules=normal_rules), rng=0
     )
     topologies = list(dataset.topology_matrices("all"))
     old_patterns = dataset.real_patterns("all")
-
-    scenarios = [
-        ("normal rules", NORMAL_RULES),
-        ("larger space_min", LARGER_SPACE_RULES),
-        ("smaller area_max", SMALLER_AREA_RULES),
-    ]
 
     header = f"{'rule set':<20}{'reused old geometry':>22}{'re-legalised':>15}{'solver ok':>11}"
     print(header)

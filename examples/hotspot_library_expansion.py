@@ -11,6 +11,9 @@ producing them from real designs is slow.  This example mimics that workflow:
 * the expanded library is compared with the seed library on size, diversity
   and legality — the three quantities Table I reports.
 
+The regime (rules, solutions per topology) comes from the registry's
+``hotspot-expansion`` scenario; ``--solutions-per-topology`` overrides it.
+
 Usage::
 
     python examples/hotspot_library_expansion.py [--solutions-per-topology 8]
@@ -26,19 +29,26 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import DatasetConfig, LayoutPatternDataset
 from repro.drc import DesignRuleChecker
-from repro.legalization import DesignRules, Legalizer
+from repro.legalization import Legalizer
 from repro.metrics import pattern_diversity
 from repro.prefilter import TopologyPrefilter
+from repro.scenarios import builtin_registry
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed-library", type=int, default=96, help="size of the existing library")
-    parser.add_argument("--solutions-per-topology", type=int, default=8)
+    parser.add_argument(
+        "--solutions-per-topology", type=int, default=None,
+        help="geometric solutions per topology (default: the scenario's)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    rules = DesignRules()
+    plan = builtin_registry().resolve("hotspot-expansion").lower()
+    rules = plan.config.rules
+    if args.solutions_per_topology is None:
+        args.solutions_per_topology = plan.num_solutions
     dataset = LayoutPatternDataset.synthesize(
         args.seed_library, DatasetConfig(matrix_size=16, channels=4, rules=rules), rng=args.seed
     )

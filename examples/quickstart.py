@@ -1,16 +1,17 @@
-"""Quickstart: train DiffPattern at laptop scale and generate legal patterns.
+"""Quickstart: run a registry scenario end to end and generate legal patterns.
 
-Runs the full framework end to end in a couple of minutes on CPU:
+Runs the full framework — synthesise a DRC-clean training library, train the
+discrete diffusion model, stream generation through the stage graph
+(sample -> prefilter -> legalize -> DRC chunk by chunk), report legality /
+diversity and draw one generated pattern as ASCII art.
 
-1. synthesise a DRC-clean training library (the ICCAD-map substitute),
-2. train the discrete diffusion model on deep-squish topology tensors,
-3. stream generation through the stage graph — each fixed-size chunk flows
-   sample -> prefilter -> legalize -> DRC before the next chunk is sampled,
-   so peak memory is bounded by the chunk size (the monolithic batch path is
-   one flag away and produces the identical result),
-4. report legality / diversity and draw one generated pattern as ASCII art.
+The workload comes from the scenario registry (``repro.scenarios``): pass
+``--scenario NAME`` to run any registered regime.  ``python -m repro
+list-scenarios`` shows what ships; the default here is a quickstart-scale
+regime close to the ``smoke`` scenario but trained long enough to produce a
+healthy pattern yield.  Flags layer over the scenario exactly like the CLI's.
 
-Streaming + persistence walkthrough::
+Streaming + persistence walkthrough (mirrors ``python -m repro generate``)::
 
     python examples/quickstart.py --stream --chunk-size 8          # bounded memory
     python examples/quickstart.py --library out/lib                # persist chunks
@@ -19,12 +20,16 @@ Streaming + persistence walkthrough::
 
 A resumed run reloads completed chunks from ``out/lib/manifest.json`` and its
 npz shards instead of re-generating them, and reproduces the uninterrupted
-run exactly (same patterns, same diversity H, same legality).
+run exactly (same patterns, same diversity H, same legality).  The same
+library is then readable with ``python -m repro inspect-library out/lib``.
 
 Usage::
 
-    python examples/quickstart.py [--iterations 600] [--generate 16]
-        [--batch | --stream] [--chunk-size 8] [--library DIR] [--resume]
+    python examples/quickstart.py [--scenario smoke] [--iterations 600]
+        [--generate 16] [--batch | --stream] [--chunk-size 8]
+        [--library DIR] [--resume]
+
+Flags left unset fall back to the scenario's own values.
 """
 
 from __future__ import annotations
@@ -36,30 +41,44 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.diffusion import DiffusionConfig
+from repro.cli import knob_overrides
 from repro.library import PatternLibrary
-from repro.pipeline import DiffPatternConfig, DiffPatternPipeline, render_pattern
+from repro.pipeline import DiffPatternPipeline, render_pattern
+from repro.scenarios import builtin_registry
+from repro.utils import as_rng
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--iterations", type=int, default=600, help="training iterations")
-    parser.add_argument("--generate", type=int, default=16, help="topologies to sample")
-    parser.add_argument("--training-patterns", type=int, default=192)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenario",
+        default="smoke",
+        help="registry scenario to run (see `python -m repro list-scenarios`)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="training iterations (default: the scenario's)",
+    )
+    parser.add_argument(
+        "--generate", type=int, default=None,
+        help="topologies to sample (default: the scenario's)",
+    )
+    parser.add_argument("--training-patterns", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="legalization process-pool width (1 = serial; results are "
-        "identical for any value)",
+        default=None,
+        help="legalization process-pool width (1 = serial, 0 = auto; results "
+        "are identical for any value)",
     )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--stream",
         action="store_true",
-        default=True,
-        help="stream generation chunk by chunk (default; bounded memory)",
+        default=None,
+        help="stream generation chunk by chunk (the scenarios' default; "
+        "bounded memory)",
     )
     mode.add_argument(
         "--batch",
@@ -71,7 +90,7 @@ def main() -> int:
     parser.add_argument(
         "--chunk-size",
         type=int,
-        default=8,
+        default=None,
         help="samples per streamed graph step (memory knob only — the "
         "generated patterns are identical for any value)",
     )
@@ -90,34 +109,56 @@ def main() -> int:
     if args.resume and args.library is None:
         parser.error("--resume needs --library: the manifest is what a run resumes from")
 
-    config = DiffPatternConfig.tiny()
-    config.diffusion = DiffusionConfig(num_steps=32, lambda_ce=0.05)
-    config.workers = args.workers
-    pipeline = DiffPatternPipeline(config)
+    # The scenario names the regime; explicitly-passed quickstart flags layer
+    # over it through the exact helper the `python -m repro` knob flags use.
+    overrides = knob_overrides(
+        generate=args.generate,
+        seed=args.seed,
+        train_iterations=args.iterations,
+        training_patterns=args.training_patterns,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        stream=args.stream,
+    )
+    spec = builtin_registry().resolve(args.scenario)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    plan = spec.lower()
+    pipeline = DiffPatternPipeline(plan.config)
+    rng = as_rng(plan.seed)
 
+    print(f"scenario '{plan.scenario}': {plan.description}")
     print("[1/4] synthesising the training library ...")
-    dataset = pipeline.prepare_data(args.training_patterns, rng=args.seed)
+    dataset = pipeline.prepare_data(plan.num_training_patterns, rng=rng)
     print(f"      {len(dataset)} patterns, tensor shape "
           f"{dataset.topology_tensors('train').shape[1:]}")
 
-    print(f"[2/4] training the discrete diffusion model ({args.iterations} iterations) ...")
+    print(f"[2/4] training the discrete diffusion model "
+          f"({plan.config.train_iterations} iterations) ...")
     start = time.perf_counter()
-    history = pipeline.train(iterations=args.iterations, rng=args.seed)
+    history = pipeline.train(rng=rng)
     print(f"      done in {time.perf_counter() - start:.1f}s, "
           f"final loss {history[-1]['loss']:.4f}")
 
-    library = PatternLibrary(args.library) if args.library is not None else None
-    mode_label = (
-        f"streaming, chunks of {args.chunk_size}" if args.stream else "batch barrier"
+    library = (
+        PatternLibrary(args.library, dedup=plan.dedup)
+        if args.library is not None
+        else None
     )
+    chunk = (
+        plan.config.stream_chunk_size
+        if plan.config.stream_chunk_size is not None
+        else plan.config.sample_batch_size
+    )
+    mode_label = f"streaming, chunks of {chunk}" if plan.stream else "batch barrier"
     print(f"[3/4] generation graph: sample -> prefilter -> legalize -> DRC "
-          f"({mode_label}, workers={args.workers}) ...")
+          f"({mode_label}, workers={plan.config.workers}) ...")
     result = pipeline.generate_and_legalize(
-        args.generate,
-        num_solutions=1,
-        rng=args.seed,
-        stream=args.stream,
-        chunk_size=args.chunk_size,
+        plan.num_generated,
+        num_solutions=plan.num_solutions,
+        rng=rng,
+        stream=plan.stream,
+        retain_topologies=plan.retain_topologies,
         library=library,
         resume=args.resume,
     )
@@ -138,7 +179,8 @@ def main() -> int:
         print(report.format())
     if library is not None:
         print(f"\npattern library at {args.library}: {library.summary()}")
-        print("      (kill this run and pass --resume to continue it)")
+        print("      (kill this run and pass --resume to continue it; "
+              f"`python -m repro inspect-library {args.library}` reads it back)")
 
     if result.patterns:
         print("\none generated legal pattern (ASCII rendering):")

@@ -30,6 +30,7 @@ from . import (
     nn,
     pipeline,
     prefilter,
+    scenarios,
     squish,
 )
 from .data import DatasetConfig, LayoutPatternDataset, SyntheticLayoutGenerator
@@ -38,6 +39,7 @@ from .drc import DesignRuleChecker
 from .legalization import DesignRules, Legalizer
 from .library import PatternLibrary
 from .pipeline import DiffPatternConfig, DiffPatternPipeline, GenerationResult
+from .scenarios import RunPlan, ScenarioRegistry, ScenarioSpec, builtin_registry
 from .squish import SquishPattern
 
 __version__ = "1.0.0"
@@ -55,6 +57,11 @@ __all__ = [
     "baselines",
     "pipeline",
     "library",
+    "scenarios",
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "RunPlan",
+    "builtin_registry",
     "PatternLibrary",
     "SquishPattern",
     "DesignRules",

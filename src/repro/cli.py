@@ -1,0 +1,412 @@
+"""``python -m repro`` — the scenario-driven command-line front end.
+
+Subcommands:
+
+* ``list-scenarios``  — names, descriptions and key knobs of every registered
+  scenario (built-ins plus any ``--scenario-file``).
+* ``generate``        — lower a scenario and run it end to end (data →
+  train → streamed sample/prefilter/legalize/DRC), optionally persisting a
+  resumable :class:`~repro.library.PatternLibrary` with ``--out``.
+* ``resume``          — continue a killed ``generate --out`` run from its
+  manifest; completed chunks are folded from disk, never re-generated.
+* ``inspect-library`` — summarise an on-disk library (chunks, patterns,
+  unique topologies, diversity H, legality, per-chunk accounting).
+* ``bench``           — run a scenario and report per-stage throughput
+  (sampling, legalization, graph), optionally as machine-readable JSON.
+
+Every subcommand accepts ``--scenario-file`` (repeatable, TOML or JSON) to
+register user scenarios next to the built-ins; ``generate``/``resume``/
+``bench`` accept knob flags (``--generate``, ``--seed``, ``--workers``, ...)
+that layer over the named scenario exactly like an ``extends`` child.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from .scenarios import (
+    RunPlan,
+    ScenarioError,
+    ScenarioRegistry,
+    builtin_registry,
+    load_scenarios,
+)
+
+__all__ = ["main", "build_parser", "knob_overrides"]
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="register extra scenarios from a TOML/JSON file (repeatable); "
+        "file scenarios may extend the built-ins",
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", required=True, help="scenario name to run")
+    parser.add_argument(
+        "--generate", type=int, default=None, metavar="N", help="override run.num_generated"
+    )
+    parser.add_argument(
+        "--solutions", type=int, default=None, metavar="N", help="override run.num_solutions"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override run.seed")
+    parser.add_argument(
+        "--train-iterations", type=int, default=None, metavar="N",
+        help="override training.iterations",
+    )
+    parser.add_argument(
+        "--training-patterns", type=int, default=None, metavar="N",
+        help="override training.num_patterns",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override engine.workers (0 = auto-size to host CPUs)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="override engine.stream_chunk_size (memory knob only)",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="single-barrier path instead of streaming (identical output)",
+    )
+    parser.add_argument(
+        "--dedup", action="store_true",
+        help="skip exact-duplicate patterns when persisting with --out",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scenario-driven DiffPattern generation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list-scenarios", help="list registered scenarios and their knobs"
+    )
+    _add_scenario_options(p_list)
+    p_list.add_argument(
+        "--verbose", action="store_true", help="print each resolved spec as JSON"
+    )
+
+    p_gen = sub.add_parser(
+        "generate", help="run a scenario end to end (train + generate + assess)"
+    )
+    _add_scenario_options(p_gen)
+    _add_run_options(p_gen)
+    p_gen.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="persist a resumable pattern library (npz shards + manifest)",
+    )
+    p_gen.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed --out run from its manifest",
+    )
+
+    p_res = sub.add_parser(
+        "resume", help="shorthand for `generate --resume` on an existing library"
+    )
+    _add_scenario_options(p_res)
+    _add_run_options(p_res)
+    p_res.add_argument(
+        "--out", type=Path, required=True, metavar="DIR",
+        help="library directory of the run to continue",
+    )
+
+    p_ins = sub.add_parser("inspect-library", help="summarise an on-disk pattern library")
+    p_ins.add_argument("library", type=Path, help="library directory (holds manifest.json)")
+    p_ins.add_argument(
+        "--chunks", action="store_true", help="print the per-chunk accounting table"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="run a scenario and report per-stage throughput"
+    )
+    _add_scenario_options(p_bench)
+    _add_run_options(p_bench)
+    p_bench.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help="also write machine-readable metrics JSON",
+    )
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# scenario resolution
+# --------------------------------------------------------------------------- #
+def _registry_for(args: argparse.Namespace) -> ScenarioRegistry:
+    registry = builtin_registry()
+    for path in getattr(args, "scenario_file", []):
+        load_scenarios(path, registry=registry)
+    return registry
+
+
+def knob_overrides(
+    *,
+    generate: "int | None" = None,
+    solutions: "int | None" = None,
+    seed: "int | None" = None,
+    train_iterations: "int | None" = None,
+    training_patterns: "int | None" = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
+    stream: "bool | None" = None,
+    dedup: bool = False,
+) -> dict:
+    """Knob values as a spec-override mapping (empty sections omitted).
+
+    ``None`` means "keep the scenario's value" (``stream`` is tri-state for
+    exactly that reason), and ``dedup`` only overrides when set — a
+    scenario's own choice is never silently forced back to the default.
+    Shared by the CLI flag handling and ``examples/quickstart.py`` so the
+    two cannot drift.
+    """
+    training = {}
+    if train_iterations is not None:
+        training["iterations"] = train_iterations
+    if training_patterns is not None:
+        training["num_patterns"] = training_patterns
+    engine = {}
+    if workers is not None:
+        engine["workers"] = workers
+    if chunk_size is not None:
+        engine["stream_chunk_size"] = chunk_size
+    run = {}
+    if generate is not None:
+        run["num_generated"] = generate
+    if solutions is not None:
+        run["num_solutions"] = solutions
+    if seed is not None:
+        run["seed"] = seed
+    if stream is not None:
+        run["stream"] = stream
+    if dedup:
+        run["dedup"] = True
+    overrides = {}
+    if training:
+        overrides["training"] = training
+    if engine:
+        overrides["engine"] = engine
+    if run:
+        overrides["run"] = run
+    return overrides
+
+
+def _overrides_from(args: argparse.Namespace) -> dict:
+    """The parsed knob flags as a spec-override mapping."""
+    return knob_overrides(
+        generate=args.generate,
+        solutions=args.solutions,
+        seed=args.seed,
+        train_iterations=args.train_iterations,
+        training_patterns=args.training_patterns,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        stream=False if args.batch else None,
+        dedup=args.dedup,
+    )
+
+
+def _plan_for(args: argparse.Namespace) -> RunPlan:
+    spec = _registry_for(args).resolve(args.scenario)
+    overrides = _overrides_from(args)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec.lower()
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    registry = _registry_for(args)
+    for name in registry.names():
+        spec = registry.resolve(name)
+        plan = spec.lower()
+        print(f"{name:<20} {spec.description}")
+        print(
+            f"{'':<20} preset={spec.preset or 'tiny'}  "
+            f"generate={plan.num_generated}x{plan.num_solutions}  "
+            f"rules(space={plan.config.rules.space_min}, "
+            f"area<={plan.config.rules.area_max})  "
+            f"train={plan.config.train_iterations} it"
+        )
+        if args.verbose:
+            print(json.dumps(spec.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _execute_plan(plan: RunPlan, out: "Path | None", resume: bool) -> tuple:
+    """Run a lowered plan end to end; returns ``(result, library)``.
+
+    Mirrors :meth:`~repro.pipeline.DiffPatternPipeline.run` (one rng drives
+    data → train → generate, so a resumed run replays the identical seeds)
+    with the plan's stream / dedup / retention knobs applied.
+    """
+    from .library import PatternLibrary
+    from .pipeline import DiffPatternPipeline
+    from .utils import as_rng
+
+    if resume and out is None:
+        raise ScenarioError("--resume needs --out: the manifest is what a run resumes from")
+    pipeline = DiffPatternPipeline(plan.config)
+    gen = as_rng(plan.seed)
+    print(f"[1/3] dataset: {plan.num_training_patterns} synthetic training patterns ...")
+    pipeline.prepare_data(plan.num_training_patterns, rng=gen)
+    print(f"[2/3] training: {plan.config.train_iterations} iterations ...")
+    pipeline.train(rng=gen)
+    library = PatternLibrary(out, dedup=plan.dedup) if out is not None else None
+    mode = "streamed" if plan.stream else "batch"
+    print(
+        f"[3/3] generation graph ({mode}): {plan.num_generated} topologies "
+        f"x {plan.num_solutions} solution(s) ..."
+    )
+    result = pipeline.generate_and_legalize(
+        plan.num_generated,
+        num_solutions=plan.num_solutions,
+        rng=gen,
+        stream=plan.stream,
+        retain_topologies=plan.retain_topologies,
+        library=library,
+        resume=resume,
+    )
+    return result, library
+
+
+def _print_result(plan: RunPlan, result, library, out: "Path | None") -> None:
+    print()
+    print(plan.summary())
+    print()
+    print(f"legal patterns         : {result.num_patterns}")
+    print(f"prefilter reject rate  : {result.prefilter_reject_rate:.1%}")
+    print(f"unsolved topologies    : {result.unsolved}")
+    print(f"legality (DRC)         : {result.legality:.1%}")
+    print(f"pattern diversity H    : {result.pattern_diversity:.4f}")
+    if library is not None:
+        print(f"library at {out}: {library.summary()}")
+        print("(kill a generate run and use `python -m repro resume` to continue it)")
+
+
+def _cmd_generate(args: argparse.Namespace, resume: "bool | None" = None) -> int:
+    plan = _plan_for(args)
+    resume = args.resume if resume is None else resume
+    result, library = _execute_plan(plan, args.out, resume)
+    _print_result(plan, result, library, args.out)
+    return 0
+
+
+def _cmd_inspect_library(args: argparse.Namespace) -> int:
+    from .library import LibraryError, PatternLibrary
+
+    manifest = Path(args.library) / "manifest.json"
+    if not manifest.exists():
+        raise LibraryError(f"{args.library} holds no pattern library (missing {manifest})")
+    library = PatternLibrary(args.library)
+    summary = library.summary()
+    print(f"pattern library at {args.library}")
+    for key, value in summary.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        print(f"  {key:<18} {rendered}")
+    if library.fingerprint:
+        print("  fingerprint:")
+        for key, value in sorted(library.fingerprint.items()):
+            print(f"    {key:<16} {value}")
+    if args.chunks:
+        print()
+        header = (
+            f"{'chunk':>5} {'start':>6} {'sampled':>8} {'kept':>5} "
+            f"{'patterns':>9} {'stored':>7} {'clean':>6} {'shard'}"
+        )
+        print(header)
+        print("-" * len(header))
+        for record in library.records_in_order():
+            print(
+                f"{record.chunk:>5} {record.start:>6} {record.num_sampled:>8} "
+                f"{record.num_kept:>5} {record.num_patterns:>9} "
+                f"{record.num_stored:>7} {record.num_clean:>6} {record.shard or '-'}"
+            )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    plan = _plan_for(args)
+    result, library = _execute_plan(plan, None, resume=False)
+    _print_result(plan, result, library, None)
+    sampling = result.sampling_report
+    legalization = result.legalization_report
+    if sampling is not None:
+        print("\nsampling stage:")
+        print(sampling.format())
+    if legalization is not None and legalization.num_topologies:
+        print("\nlegalization stage:")
+        print(legalization.format())
+    if args.metrics is not None:
+        metrics = {
+            "scenario": plan.scenario,
+            "num_generated": plan.num_generated,
+            "num_patterns": result.num_patterns,
+            "legality": result.legality,
+            "pattern_diversity": result.pattern_diversity,
+            "sampling_samples_per_second": (
+                sampling.samples_per_second if sampling is not None else None
+            ),
+            "legalize_topologies_per_second": (
+                legalization.topologies_per_second
+                if legalization is not None and legalization.num_topologies
+                else None
+            ),
+        }
+        args.metrics.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        print(f"\nmetrics written to {args.metrics}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Scenario/library errors print one diagnostic line on stderr and exit 1;
+    argparse usage errors exit 2 as usual.
+    """
+    from .library import LibraryError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-scenarios": _cmd_list_scenarios,
+        "generate": _cmd_generate,
+        "resume": lambda a: _cmd_generate(a, resume=True),
+        "inspect-library": _cmd_inspect_library,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ScenarioError, LibraryError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed early (`... | head`); not an error.  Point
+        # stdout at devnull so interpreter shutdown doesn't re-raise while
+        # flushing the dead pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

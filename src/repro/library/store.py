@@ -250,7 +250,14 @@ class PatternLibrary:
         """Persist one completed chunk; returns the patterns actually stored.
 
         The shard is written first, the manifest second (atomically), so an
-        interrupt between the two leaves a restartable library.
+        interrupt between the two leaves a restartable library.  ``record``
+        is mutated in place with the storage accounting (``num_stored``,
+        ``duplicates_skipped``, the introduced hashes, the shard name).
+
+        Raises
+        ------
+        LibraryError
+            If ``record.chunk`` is already recorded in the manifest.
         """
         if record.chunk in self.chunk_records:
             raise LibraryError(f"chunk {record.chunk} is already recorded")
@@ -289,7 +296,14 @@ class PatternLibrary:
     # reading
     # ------------------------------------------------------------------ #
     def load_chunk_patterns(self, chunk: int) -> list[SquishPattern]:
-        """Load the stored patterns of one chunk (empty for shard-less chunks)."""
+        """Load the stored patterns of one chunk (empty for shard-less chunks).
+
+        Raises
+        ------
+        LibraryError
+            If the chunk is not in the manifest, its shard file is missing,
+            or the shard's pattern count disagrees with the manifest.
+        """
         record = self.chunk_records.get(chunk)
         if record is None:
             raise LibraryError(f"chunk {chunk} is not recorded in {self.manifest_path}")

@@ -22,18 +22,34 @@ class DiffPatternConfig:
     * :meth:`paper` — the configuration reported in the paper
       (16x32x32 tensors, K=1000, 128-channel U-Net, 0.5 M iterations);
       valid but only practical with substantial compute.
+
+    Config literals are normally not written by hand: a
+    :class:`~repro.scenarios.ScenarioSpec` names a preset plus per-section
+    overrides and lowers into this class (see ``docs/scenarios.md``).
     """
 
+    #: Active design rules; single-sourced — ``__post_init__`` re-threads
+    #: them into :attr:`dataset` so legaliser, DRC and data agree.
     rules: DesignRules = field(default_factory=DesignRules)
+    #: Topology-dataset shape and split (matrix size, channels, test split).
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    #: Discrete-diffusion hyper-parameters (steps, betas, loss weights).
     diffusion: DiffusionConfig = field(default_factory=DiffusionConfig)
+    #: Which rule-based screens run before the legalisation solve.
     prefilter: PrefilterConfig = field(default_factory=PrefilterConfig)
+    #: Base channel width of the U-Net denoiser.
     model_channels: int = 32
+    #: Per-resolution channel multipliers (also sets the U-Net depth).
     channel_mult: tuple[int, ...] = (1, 2, 2)
+    #: Residual blocks per U-Net resolution level.
     num_res_blocks: int = 2
+    #: Spatial sizes at which the U-Net applies self-attention.
     attention_resolutions: tuple[int, ...] = (4,)
+    #: Dropout rate inside the U-Net residual blocks.
     dropout: float = 0.1
+    #: Default optimisation steps for :meth:`DiffPatternPipeline.train`.
     train_iterations: int = 200
+    #: Training mini-batch size.
     batch_size: int = 16
     #: Chunk size of the batched sampling engine: how many topologies are
     #: denoised per reverse pass.  Purely a memory/throughput trade-off — the
@@ -51,6 +67,8 @@ class DiffPatternConfig:
     #: back to ``sample_batch_size``).  Bounds peak memory of a streamed
     #: ``run()``; the generated result is identical for any value.
     stream_chunk_size: "int | None" = None
+    #: Base random seed: drives dataset synthesis, weight init, training
+    #: order, and generation when no explicit ``rng`` is passed.
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -81,7 +81,22 @@ class DiffPatternPipeline:
         dataset: "LayoutPatternDataset | None" = None,
         rng: "int | np.random.Generator | None" = None,
     ) -> LayoutPatternDataset:
-        """Synthesize (or adopt) the training dataset."""
+        """Synthesize (or adopt) the training dataset.
+
+        Parameters
+        ----------
+        num_patterns:
+            Library size to synthesize; ignored when ``dataset`` is given.
+        dataset:
+            An already-built dataset to adopt instead of synthesizing.
+        rng:
+            Seed or generator for synthesis (``config.seed`` by default).
+
+        Returns
+        -------
+        LayoutPatternDataset
+            The dataset now bound to the pipeline (also at :attr:`dataset`).
+        """
         if dataset is not None:
             self.dataset = dataset
         else:
@@ -103,7 +118,26 @@ class DiffPatternPipeline:
         iterations: "int | None" = None,
         rng: "int | np.random.Generator | None" = None,
     ) -> list[dict[str, float]]:
-        """Train the diffusion model on the prepared dataset."""
+        """Train the diffusion model on the prepared dataset.
+
+        Parameters
+        ----------
+        iterations:
+            Optimisation steps (``config.train_iterations`` by default).
+        rng:
+            Seed or generator driving batching and noise draws.
+
+        Returns
+        -------
+        list[dict[str, float]]
+            Per-logging-step loss history of this call (also appended to
+            :attr:`training_history`).
+
+        Raises
+        ------
+        RuntimeError
+            If :meth:`prepare_data` has not been called.
+        """
         if self.dataset is None:
             raise RuntimeError("prepare_data must be called before train")
         if self.diffusion is None:
@@ -123,6 +157,12 @@ class DiffPatternPipeline:
 
         Built lazily and rebuilt if the underlying model is replaced (e.g. by
         :meth:`build_model` after a checkpoint load).
+
+        Raises
+        ------
+        RuntimeError
+            If no diffusion model exists yet (call :meth:`train` or
+            :meth:`build_model` first).
         """
         if self.diffusion is None:
             raise RuntimeError("train (or build_model) must be called before sampling")
@@ -146,7 +186,14 @@ class DiffPatternPipeline:
     def generate_topologies(
         self, count: int, rng: "int | np.random.Generator | None" = None
     ) -> np.ndarray:
-        """Sample topology tensors and unfold them into flat matrices."""
+        """Sample topology tensors and unfold them into flat matrices.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(count, H, W)`` binary topology matrices, element-wise
+            identical for any engine batch size (per-index seeding).
+        """
         engine = self.sampling_engine()
         tensors = engine.sample(count, seed=rng)
         self._sampling_report = engine.last_report
@@ -156,7 +203,13 @@ class DiffPatternPipeline:
     # checkpointing
     # ------------------------------------------------------------------ #
     def save_model(self, path) -> None:
-        """Save the trained U-Net weights to an ``.npz`` checkpoint."""
+        """Save the trained U-Net weights to an ``.npz`` checkpoint.
+
+        Raises
+        ------
+        RuntimeError
+            If no model exists (call :meth:`train` or :meth:`build_model`).
+        """
         if self.diffusion is None:
             raise RuntimeError("there is no model to save; call train or build_model first")
         from ..nn import save_checkpoint
@@ -243,6 +296,13 @@ class DiffPatternPipeline:
         ``num_solutions=1`` is DiffPattern-S; larger values give DiffPattern-L.
         The batch is sharded across ``workers`` processes (config default);
         results are element-wise identical for any worker count / chunk size.
+
+        Returns
+        -------
+        GenerationResult
+            Patterns plus diversity / legality metrics and the
+            legalization report (no sampling report: the topologies were
+            supplied, not sampled here).
         """
         filtered = self.prefilter.filter(list(topologies))
         engine = self.legalization_engine(
@@ -359,6 +419,21 @@ class DiffPatternPipeline:
         memory).  Pass ``library`` (a :class:`~repro.library.PatternLibrary`)
         to persist every completed chunk, and ``resume=True`` to continue a
         killed run from its manifest without re-generating finished chunks.
+
+        One generator seeded from ``rng`` (``config.seed`` by default)
+        drives data synthesis, training and generation in sequence, so a
+        rerun — or a resume — with the same seed replays the identical run.
+
+        Returns
+        -------
+        GenerationResult
+            Patterns, metrics and the per-stage engine reports.
+
+        Raises
+        ------
+        repro.library.LibraryError
+            If ``library`` holds an incompatible fingerprint, or completed
+            chunks without ``resume=True``.
         """
         gen = as_rng(rng if rng is not None else self.config.seed)
         if self.dataset is None:

@@ -115,7 +115,24 @@ class _ChainRecorder:
 
 
 class SamplingEngine:
-    """Chunked, deterministic, gradient-free reverse-diffusion sampler."""
+    """Chunked, deterministic, gradient-free reverse-diffusion sampler.
+
+    Parameters
+    ----------
+    diffusion:
+        The trained generator to draw from.
+    batch_size:
+        Samples denoised per reverse pass; a pure memory/throughput knob
+        (per-index seeding keeps the output identical for any value).
+    inference:
+        ``False`` routes the network through the taped forward pass —
+        slower, used only to cross-check the array kernels.
+
+    Raises
+    ------
+    ValueError
+        If ``batch_size`` is not positive.
+    """
 
     def __init__(
         self,
@@ -149,6 +166,11 @@ class SamplingEngine:
         samples owned by indices ``[first_index, first_index + num_samples)``
         of the seed's virtual sequence, so a streaming caller pulling
         consecutive windows reproduces one monolithic call bit for bit.
+
+        Raises
+        ------
+        ValueError
+            If ``num_samples`` < 1 or ``first_index`` < 0.
         """
         samples, _ = self.sample_with_report(
             num_samples,

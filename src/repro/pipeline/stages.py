@@ -235,6 +235,20 @@ class GenerationGraph:
         (the matrices of resumed chunks were never persisted and a partial
         array would misrepresent the run); patterns, reports and metrics
         still cover every chunk.
+
+        Returns
+        -------
+        GenerationResult
+            Element-wise identical to the monolithic batch run for any
+            chunk size and worker count (the parity contract above).
+
+        Raises
+        ------
+        ValueError
+            If ``num_samples`` < 1.
+        repro.library.LibraryError
+            If the attached library's fingerprint does not match this run,
+            or it holds completed chunks and ``resume`` is not set.
         """
         if num_samples < 1:
             raise ValueError("num_samples must be >= 1")

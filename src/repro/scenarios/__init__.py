@@ -1,0 +1,32 @@
+"""Declarative workload scenarios: named specs that lower to pipeline runs.
+
+``repro.scenarios`` is the registry layer over the generation machinery:
+a :class:`ScenarioSpec` names one complete workload regime (design rules,
+grid/topology-count regime, sampler and worker knobs, stream/library
+settings), validates its schema, composes via ``extends`` inheritance and
+per-section overrides, loads from TOML/JSON files, and lowers into a
+:class:`RunPlan` (a built :class:`~repro.pipeline.DiffPatternConfig` plus
+run-shaping values) executed through
+:class:`~repro.pipeline.DiffPatternPipeline` /
+:class:`~repro.pipeline.GenerationGraph` and persisted to a
+:class:`~repro.library.PatternLibrary`.
+
+``python -m repro`` (see :mod:`repro.cli`) is the command-line front end.
+"""
+
+from .io import dump_scenarios, load_scenario_dicts, load_scenarios
+from .registry import BUILTIN_SCENARIOS, ScenarioRegistry, builtin_registry
+from .spec import SECTION_KEYS, RunPlan, ScenarioError, ScenarioSpec
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioSpec",
+    "RunPlan",
+    "SECTION_KEYS",
+    "ScenarioRegistry",
+    "builtin_registry",
+    "BUILTIN_SCENARIOS",
+    "load_scenario_dicts",
+    "load_scenarios",
+    "dump_scenarios",
+]

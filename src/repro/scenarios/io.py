@@ -1,0 +1,130 @@
+"""Loading scenario specifications from TOML / JSON files.
+
+A scenario file is a mapping of scenario name to specification table, in the
+schema documented by :mod:`repro.scenarios.spec` (see ``docs/scenarios.md``
+for a walkthrough).  TOML::
+
+    [nightly-dense]
+    extends = "dense"
+    description = "nightly library build"
+
+    [nightly-dense.run]
+    num_generated = 4096
+
+    [nightly-dense.engine]
+    workers = 0          # 0 = auto-size the pool to the host CPUs
+
+or the equivalent JSON object.  The format is chosen by file suffix
+(``.toml`` vs ``.json``).  File-defined scenarios may ``extends`` built-ins
+and each other; name collisions with already-registered scenarios are an
+error unless ``replace=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Mapping
+
+from .registry import ScenarioRegistry
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = ["load_scenario_dicts", "load_scenarios", "dump_scenarios"]
+
+
+def load_scenario_dicts(path: "str | Path") -> dict[str, Mapping]:
+    """Parse a scenario file into raw ``{name: spec_dict}`` mappings.
+
+    Raises
+    ------
+    ScenarioError
+        On an unreadable file, an unsupported suffix, a parse error, or a
+        top-level payload that is not a mapping of tables.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise ScenarioError(f"cannot read scenario file {path}: {error}") from error
+    try:
+        if path.suffix == ".toml":
+            payload = tomllib.loads(raw.decode("utf-8"))
+        elif path.suffix == ".json":
+            payload = json.loads(raw.decode("utf-8"))
+        else:
+            raise ScenarioError(
+                f"scenario file {path} must end in .toml or .json, not {path.suffix!r}"
+            )
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ScenarioError(f"cannot parse scenario file {path}: {error}") from error
+    if not isinstance(payload, dict) or not all(
+        isinstance(value, dict) for value in payload.values()
+    ):
+        raise ScenarioError(
+            f"scenario file {path} must map scenario names to tables/objects"
+        )
+    return payload
+
+
+def load_scenarios(
+    path: "str | Path",
+    registry: "ScenarioRegistry | None" = None,
+    replace: bool = False,
+) -> list[ScenarioSpec]:
+    """Validate every scenario in ``path`` and register it.
+
+    Parameters
+    ----------
+    path:
+        A ``.toml`` or ``.json`` scenario file.
+    registry:
+        Registry to add to (a fresh empty one by default).  Pass the builtin
+        registry to let file scenarios ``extends`` the shipped ones.
+    replace:
+        Allow file scenarios to shadow already-registered names.
+
+    Returns
+    -------
+    list[ScenarioSpec]
+        The newly registered specs, in file order.
+
+    Raises
+    ------
+    ScenarioError
+        On any parse or validation failure; nothing is registered unless the
+        whole file validates.
+    """
+    registry = registry if registry is not None else ScenarioRegistry()
+    specs = [
+        ScenarioSpec.from_dict(name, data)
+        for name, data in load_scenario_dicts(path).items()
+    ]
+    for spec in specs:  # validate-all-then-register: no partial loads
+        if spec.name in registry and not replace:
+            raise ScenarioError(
+                f"scenario file {path}: {spec.name!r} is already registered; "
+                "rename it or pass replace=True"
+            )
+    for spec in specs:
+        registry.register(spec, replace=replace)
+    return specs
+
+
+def dump_scenarios(specs: "list[ScenarioSpec]", path: "str | Path") -> Path:
+    """Write specs to a ``.json`` scenario file (the round-trip inverse).
+
+    JSON only — TOML writing is not in the stdlib and the JSON form loads
+    identically.
+
+    Raises
+    ------
+    ScenarioError
+        If ``path`` does not end in ``.json``.
+    """
+    path = Path(path)
+    if path.suffix != ".json":
+        raise ScenarioError(f"dump_scenarios writes JSON; got {path.suffix!r}")
+    payload = {spec.name: spec.as_dict() for spec in specs}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,114 @@
+"""CLI smoke tests: generate -> library on disk -> inspect-library reads it back."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.library import PatternLibrary
+
+
+@pytest.fixture(scope="module")
+def smoke_args() -> list[str]:
+    """Knobs that shrink the smoke scenario to unit-test scale.
+
+    The CI bench-smoke job runs the scenario at its shipped scale; here it
+    only has to prove the CLI wiring, so training is cut to seconds.
+    """
+    return ["--train-iterations", "40", "--training-patterns", "32", "--generate", "6"]
+
+
+@pytest.fixture(scope="module")
+def generated_library(tmp_path_factory, smoke_args):
+    """One `generate --scenario smoke --out DIR` run shared by the tests."""
+    out = tmp_path_factory.mktemp("cli") / "lib"
+    code = main(["generate", "--scenario", "smoke", "--out", str(out), *smoke_args])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_resumable_library(self, generated_library):
+        assert (generated_library / "manifest.json").exists()
+        library = PatternLibrary(generated_library)
+        assert library.num_chunks == 2               # 6 samples / chunks of 4
+        assert library.fingerprint["num_samples"] == 6
+        records = library.records_in_order()
+        assert sum(r.num_sampled for r in records) == 6
+        assert len(library.load_patterns()) == library.num_patterns
+
+    def test_resume_replays_to_identical_library(self, generated_library, smoke_args, capsys):
+        before = PatternLibrary(generated_library).summary()
+        code = main(
+            ["resume", "--scenario", "smoke", "--out", str(generated_library), *smoke_args]
+        )
+        assert code == 0
+        assert PatternLibrary(generated_library).summary() == before
+        assert "legal patterns" in capsys.readouterr().out
+
+    def test_fingerprint_mismatch_is_a_clean_error(self, generated_library, smoke_args, capsys):
+        code = main(
+            ["resume", "--scenario", "smoke", "--out", str(generated_library),
+             *smoke_args[:-2], "--generate", "7"]      # different run shape
+        )
+        assert code == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_resume_without_out_rejected(self, smoke_args, capsys):
+        code = main(["generate", "--scenario", "smoke", "--resume", *smoke_args])
+        assert code == 1
+        assert "--out" in capsys.readouterr().err
+
+
+class TestInspectLibrary:
+    def test_reads_back_summary_and_chunks(self, generated_library, capsys):
+        code = main(["inspect-library", str(generated_library), "--chunks"])
+        assert code == 0
+        out = capsys.readouterr().out
+        library = PatternLibrary(generated_library)
+        assert f"patterns           {library.num_patterns}" in out
+        assert "fingerprint:" in out
+        assert "shard" in out                        # chunk table header
+        for record in library.records_in_order():
+            assert f"\n{record.chunk:>5} " in out
+
+    def test_missing_library_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["inspect-library", str(tmp_path / "nope")])
+        assert code == 1
+        assert "manifest.json" in capsys.readouterr().err
+
+
+class TestListScenarios:
+    def test_lists_builtins(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "paper-tables", "dense", "sparse",
+                     "rule-migration", "hotspot-expansion"):
+            assert name in out
+
+    def test_scenario_file_shows_up(self, tmp_path, capsys):
+        path = tmp_path / "extra.toml"
+        path.write_text('[my-run]\nextends = "smoke"\ndescription = "mine"\n')
+        assert main(["list-scenarios", "--scenario-file", str(path)]) == 0
+        assert "my-run" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        code = main(["generate", "--scenario", "nope"])
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_writes_metrics(self, tmp_path, smoke_args, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["bench", "--scenario", "smoke", "--metrics", str(metrics_path), *smoke_args]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["scenario"] == "smoke"
+        assert metrics["num_generated"] == 6
+        assert metrics["sampling_samples_per_second"] > 0
+        assert "sampling stage:" in capsys.readouterr().out

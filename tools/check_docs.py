@@ -1,0 +1,125 @@
+"""Docs gate: execute every ``python`` code block and verify cross-links.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [FILES...]
+
+With no arguments, checks ``docs/*.md`` plus ``README.md``.  Two classes of
+failure, both fatal:
+
+* **Broken code block** — every fenced block whose info string starts with
+  ``python`` is executed (doctest-style) in a per-file namespace, with the
+  working directory switched to a throw-away temp dir so examples may write
+  files freely.  A block whose info string contains ``no-run`` is only
+  compiled, not executed (for paper-scale snippets that would take hours).
+* **Broken link** — every relative markdown link must resolve to an existing
+  file, and a ``#fragment`` (same-file or cross-file) must match a heading
+  of the target document under GitHub's anchor slug rules.
+
+The CI ``docs`` job runs this; run it locally before editing docs/.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import traceback
+from contextlib import chdir
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+# Absolute src path: blocks execute from a temp cwd, where a relative
+# PYTHONPATH=src entry would no longer resolve.
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.DOTALL | re.MULTILINE)
+# [text](target) — skipping images is fine: we ship none.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, dashes, ascii-ish)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def stripped_prose(markdown: str) -> str:
+    """The document with fenced code blocks removed (links in code don't count)."""
+    return _FENCE.sub("", markdown)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = stripped_prose(path.read_text())
+    return {github_slug(match.group(1)) for match in _HEADING.finditer(text)}
+
+
+def check_links(path: Path, errors: list[str]) -> None:
+    for match in _LINK.finditer(stripped_prose(path.read_text())):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        ref, _, fragment = target.partition("#")
+        dest = path if not ref else (path.parent / ref).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link {target!r} ({dest} does not exist)")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no heading slugs to {fragment!r} in {dest.name})"
+                )
+
+
+def check_code_blocks(path: Path, errors: list[str]) -> int:
+    """Execute the file's python blocks in one shared namespace; returns count."""
+    namespace: dict = {"__name__": f"docs_block[{path.name}]"}
+    count = 0
+    for match in _FENCE.finditer(path.read_text()):
+        info, body = match.group(1).strip(), match.group(2)
+        if not info.startswith("python"):
+            continue
+        count += 1
+        label = f"{path}: python block #{count}"
+        try:
+            code = compile(body, f"<{label}>", "exec")
+        except SyntaxError:
+            errors.append(f"{label} does not compile:\n{traceback.format_exc(limit=0)}")
+            continue
+        if "no-run" in info:
+            continue
+        with tempfile.TemporaryDirectory() as tmp, chdir(tmp):
+            try:
+                exec(code, namespace)  # noqa: S102 - executing our own docs
+            except Exception:
+                errors.append(f"{label} raised:\n{traceback.format_exc(limit=3)}")
+    return count
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        files = [Path(arg).resolve() for arg in args]
+    else:
+        files = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+    errors: list[str] = []
+    total_blocks = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        check_links(path, errors)
+        total_blocks += check_code_blocks(path, errors)
+    for error in errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    print(f"checked {len(files)} file(s), {total_blocks} python block(s): "
+          f"{'FAILED' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
