@@ -79,6 +79,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="override engine.stream_chunk_size (memory knob only)",
     )
     parser.add_argument(
+        "--solver-mode", choices=("auto", "slsqp"), default=None,
+        help="override engine.solver_mode (auto = repair-first fast path, "
+        "slsqp = full solve, bit-identical to the historical solver)",
+    )
+    parser.add_argument(
         "--batch", action="store_true",
         help="single-barrier path instead of streaming (identical output)",
     )
@@ -165,6 +170,7 @@ def knob_overrides(
     training_patterns: "int | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    solver_mode: "str | None" = None,
     stream: "bool | None" = None,
     dedup: bool = False,
 ) -> dict:
@@ -186,6 +192,8 @@ def knob_overrides(
         engine["workers"] = workers
     if chunk_size is not None:
         engine["stream_chunk_size"] = chunk_size
+    if solver_mode is not None:
+        engine["solver_mode"] = solver_mode
     run = {}
     if generate is not None:
         run["num_generated"] = generate
@@ -217,6 +225,7 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         training_patterns=args.training_patterns,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        solver_mode=args.solver_mode,
         stream=False if args.batch else None,
         dedup=args.dedup,
     )

@@ -22,9 +22,10 @@ import numpy as np
 
 from ..geometry import (
     Layout,
-    component_areas,
+    connected_components,
     has_bowtie,
-    runs_of_value,
+    interior_runs_2d,
+    runs_2d,
     validate_grid,
 )
 from ..legalization.rules import DesignRules
@@ -148,51 +149,75 @@ class DesignRuleChecker:
                 Violation("bowtie", "-", (0, 0), 0.0, float(rules.space_min))
             )
 
-        # Row direction: width / space measured along x.
-        for r in range(grid.shape[0]):
-            self._check_line(grid[r], dx, "x", r, report)
-        # Column direction: width / space measured along y.
-        for c in range(grid.shape[1]):
-            self._check_line(grid[:, c], dy, "y", c, report)
+        # Width / space along both directions, all lines at once: runs come
+        # from the shared run-length kernels and their physical lengths from
+        # one prefix sum per axis (exact in int64).
+        self._check_direction(grid, dx, "x", report)
+        self._check_direction(grid.T, dy, "y", report)
 
-        # Polygon areas.
-        for index, area in enumerate(component_areas(grid, dx, dy)):
-            if area < rules.area_min:
-                report.violations.append(
-                    Violation("area", "-", (index, index), float(area), float(rules.area_min))
-                )
-            elif area > rules.area_max:
-                report.violations.append(
-                    Violation("area", "-", (index, index), float(area), float(rules.area_max))
-                )
+        # Polygon areas.  The cell area grid is exact in int64; per-polygon
+        # sums come from one bincount over the labels.
+        labels, count = connected_components(grid)
+        if count:
+            cell_areas = np.outer(dy, dx)
+            areas = np.bincount(
+                labels.ravel(), weights=cell_areas.ravel(), minlength=count + 1
+            )[1:]
+            # Representative cell per polygon: its first cell in row-major
+            # scan order (labels appear in scan order, so the first flat
+            # occurrence of each label is well defined).
+            _, first_flat = np.unique(labels.ravel(), return_index=True)
+            first_flat = first_flat[-count:]  # drop the background label 0
+            cols = grid.shape[1]
+            for index in range(count):
+                area = float(areas[index])
+                location = (int(first_flat[index] // cols), int(first_flat[index] % cols))
+                if area < rules.area_min:
+                    report.violations.append(
+                        Violation("area", "-", location, area, float(rules.area_min))
+                    )
+                elif area > rules.area_max:
+                    report.violations.append(
+                        Violation("area", "-", location, area, float(rules.area_max))
+                    )
         return report
 
-    def _check_line(
+    def _check_direction(
         self,
-        line: np.ndarray,
+        grid: np.ndarray,
         deltas: np.ndarray,
         axis: str,
-        index: int,
         report: DRCReport,
     ) -> None:
+        """Check every width and interior-space run along the rows of ``grid``.
+
+        ``axis`` is ``"x"`` when the rows of ``grid`` are physical rows
+        (lengths measured with ``delta_x``) and ``"y"`` when ``grid`` is the
+        transposed view.  Violations are emitted in the order the per-line
+        scan produced them: by line, widths before spaces, then by start.
+        """
         rules = self.rules
-        ones = np.nonzero(line == 1)[0]
-        for start, end in runs_of_value(line, 1):
-            length = int(deltas[start : end + 1].sum())
-            if length < rules.width_min:
-                location = (index, start) if axis == "x" else (start, index)
-                report.violations.append(
-                    Violation("width", axis, location, float(length), float(rules.width_min))
-                )
-        if ones.size >= 2:
-            first, last = int(ones[0]), int(ones[-1])
-            for start, end in runs_of_value(line, 0):
-                if start > first and end < last:
-                    length = int(deltas[start : end + 1].sum())
-                    if length < rules.space_min:
-                        location = (index, start) if axis == "x" else (start, index)
-                        report.violations.append(
-                            Violation(
-                                "space", axis, location, float(length), float(rules.space_min)
-                            )
-                        )
+        prefix = np.concatenate(([0], np.cumsum(deltas)))
+
+        w_line, w_start, w_end = runs_2d(grid, 1)
+        w_len = prefix[w_end + 1] - prefix[w_start]
+        w_bad = w_len < rules.width_min
+
+        s_line, s_start, s_end = interior_runs_2d(grid, 0)
+        s_len = prefix[s_end + 1] - prefix[s_start]
+        s_bad = s_len < rules.space_min
+
+        lines = np.concatenate([w_line[w_bad], s_line[s_bad]])
+        starts = np.concatenate([w_start[w_bad], s_start[s_bad]])
+        lengths = np.concatenate([w_len[w_bad], s_len[s_bad]])
+        kinds = np.concatenate(
+            [np.zeros(int(w_bad.sum()), dtype=np.int8), np.ones(int(s_bad.sum()), dtype=np.int8)]
+        )
+        for i in np.lexsort((starts, kinds, lines)):
+            line, start = int(lines[i]), int(starts[i])
+            rule = "width" if kinds[i] == 0 else "space"
+            required = rules.width_min if kinds[i] == 0 else rules.space_min
+            location = (line, start) if axis == "x" else (start, line)
+            report.violations.append(
+                Violation(rule, axis, location, float(lengths[i]), float(required))
+            )

@@ -11,6 +11,8 @@ from .grid import (
     connected_components,
     grid_to_rects,
     has_bowtie,
+    interior_runs_2d,
+    runs_2d,
     runs_of_value,
     validate_grid,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "connected_components",
     "has_bowtie",
     "runs_of_value",
+    "runs_2d",
+    "interior_runs_2d",
     "grid_to_rects",
     "component_cell_indices",
     "component_areas",

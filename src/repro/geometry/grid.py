@@ -99,6 +99,48 @@ def runs_of_value(line: np.ndarray, value: int) -> Iterator[tuple[int, int]]:
             i += 1
 
 
+def runs_2d(grid: np.ndarray, value: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All maximal runs of ``value`` along the rows of a 2-D array, at once.
+
+    Returns ``(line, start, end)`` index arrays (``end`` inclusive), ordered
+    row-major — i.e. exactly the order a Python loop over
+    :func:`runs_of_value` per row would visit them.  This is the shared
+    run-length kernel behind constraint extraction and the DRC width/space
+    checks; pass ``grid.T`` to get runs along columns (``line`` is then the
+    column index).
+    """
+    eq = np.asarray(grid) == value
+    rows, cols = eq.shape
+    padded = np.zeros((rows, cols + 2), dtype=np.int8)
+    padded[:, 1:-1] = eq
+    edges = np.diff(padded, axis=1)
+    line, start = np.nonzero(edges == 1)
+    _, end = np.nonzero(edges == -1)
+    # Every start has a matching end in the same row, and np.nonzero yields
+    # both row-major, so the two arrays are aligned pairwise.
+    return line, start, end - 1
+
+
+def interior_runs_2d(
+    grid: np.ndarray, value: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Runs of ``value`` strictly between the first and last 1 of each row.
+
+    The vectorized form of the per-line "interior run" rule: a run counts
+    only when it lies between two shape cells of the same line (runs touching
+    the window border are not space constraints).  Same ``(line, start,
+    end)`` layout and ordering as :func:`runs_2d`.
+    """
+    arr = np.asarray(grid)
+    line, start, end = runs_2d(arr, value)
+    ones = arr == 1
+    has_shape = ones.any(axis=1)
+    first = np.argmax(ones, axis=1)
+    last = arr.shape[1] - 1 - np.argmax(ones[:, ::-1], axis=1)
+    keep = has_shape[line] & (start > first[line]) & (end < last[line])
+    return line[keep], start[keep], end[keep]
+
+
 def grid_to_rects(
     grid: np.ndarray,
     dx: np.ndarray,

@@ -1,5 +1,10 @@
 """White-box 2D legal pattern assessment (design rules, constraints, solver)."""
 
+from .compiled import (
+    CompiledConstraints,
+    compile_constraints,
+    compiled_for_topology,
+)
 from .constraints import (
     IntervalConstraint,
     TopologyConstraints,
@@ -20,6 +25,7 @@ from .rules import (
     DesignRules,
 )
 from .solver import (
+    SOLVER_MODES,
     GeometrySolution,
     SolverOptions,
     solve_geometry,
@@ -35,6 +41,10 @@ __all__ = [
     "TopologyConstraints",
     "extract_constraints",
     "polygon_area",
+    "CompiledConstraints",
+    "compile_constraints",
+    "compiled_for_topology",
+    "SOLVER_MODES",
     "SolverOptions",
     "GeometrySolution",
     "solve_geometry",

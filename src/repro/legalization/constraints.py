@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..geometry import connected_components, runs_of_value, validate_grid
+from ..geometry import connected_components, interior_runs_2d, runs_2d, validate_grid
 
 
 @dataclass(frozen=True)
@@ -61,65 +61,49 @@ class TopologyConstraints:
         return self.width_constraints + self.space_constraints
 
 
-def _interior_zero_runs(line: np.ndarray) -> list[tuple[int, int]]:
-    """Runs of 0s strictly between two 1s in a 1-D line."""
-    ones = np.nonzero(line == 1)[0]
-    if ones.size < 2:
-        return []
-    first, last = int(ones[0]), int(ones[-1])
-    runs = []
-    for start, end in runs_of_value(line, 0):
-        if start > first and end < last:
-            runs.append((start, end))
-    return runs
+def _dedup_runs(
+    start: np.ndarray, end: np.ndarray, span: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-occurrence dedup of ``(start, end)`` pairs, scan order kept.
+
+    The vectorized form of the seen-set the extraction loop used to carry:
+    identical runs repeat across the lines of a grid (every row crossing the
+    same rectangle yields the same column range), and only the first
+    occurrence becomes a constraint.
+    """
+    codes = start.astype(np.int64) * (span + 1) + end
+    _, first = np.unique(codes, return_index=True)
+    first.sort()
+    return start[first], end[first]
 
 
 def extract_constraints(
     topology: np.ndarray, width_min: int, space_min: int
 ) -> TopologyConstraints:
-    """Build the constraint sets of Eq. (14) for one topology matrix."""
+    """Build the constraint sets of Eq. (14) for one topology matrix.
+
+    Runs are extracted with the vectorized run-length kernels of
+    :mod:`repro.geometry` (one diff + nonzero per direction instead of a
+    Python loop per line); constraint order is unchanged — first occurrence
+    in row-major scan order, rows before columns.
+    """
     grid = validate_grid(topology)
     rows, cols = grid.shape
     constraints = TopologyConstraints(shape=(rows, cols))
 
-    width_seen: set[tuple[str, int, int]] = set()
-    space_seen: set[tuple[str, int, int]] = set()
-
-    # Horizontal runs constrain delta_x.
-    for r in range(rows):
-        line = grid[r]
-        for start, end in runs_of_value(line, 1):
-            key = ("x", start, end)
-            if key not in width_seen:
-                width_seen.add(key)
-                constraints.width_constraints.append(
-                    IntervalConstraint("x", start, end, width_min, "width")
-                )
-        for start, end in _interior_zero_runs(line):
-            key = ("x", start, end)
-            if key not in space_seen:
-                space_seen.add(key)
-                constraints.space_constraints.append(
-                    IntervalConstraint("x", start, end, space_min, "space")
-                )
-
-    # Vertical runs constrain delta_y.
-    for c in range(cols):
-        line = grid[:, c]
-        for start, end in runs_of_value(line, 1):
-            key = ("y", start, end)
-            if key not in width_seen:
-                width_seen.add(key)
-                constraints.width_constraints.append(
-                    IntervalConstraint("y", start, end, width_min, "width")
-                )
-        for start, end in _interior_zero_runs(line):
-            key = ("y", start, end)
-            if key not in space_seen:
-                space_seen.add(key)
-                constraints.space_constraints.append(
-                    IntervalConstraint("y", start, end, space_min, "space")
-                )
+    # Horizontal runs constrain delta_x; vertical runs (via the transposed
+    # grid) constrain delta_y.
+    for axis, view, span in (("x", grid, cols), ("y", grid.T, rows)):
+        _, start, end = runs_2d(view, 1)
+        for s, e in zip(*_dedup_runs(start, end, span)):
+            constraints.width_constraints.append(
+                IntervalConstraint(axis, int(s), int(e), width_min, "width")
+            )
+        _, start, end = interior_runs_2d(view, 0)
+        for s, e in zip(*_dedup_runs(start, end, span)):
+            constraints.space_constraints.append(
+                IntervalConstraint(axis, int(s), int(e), space_min, "space")
+            )
 
     # Polygon cells for the area constraints.
     labels, count = connected_components(grid)
@@ -131,9 +115,17 @@ def extract_constraints(
 
 
 def polygon_area(
-    cells: list[tuple[int, int]], delta_x: np.ndarray, delta_y: np.ndarray
+    cells: "list[tuple[int, int]] | np.ndarray", delta_x: np.ndarray, delta_y: np.ndarray
 ) -> float:
-    """Area of one polygon given concrete geometric vectors."""
+    """Area of one polygon given concrete geometric vectors.
+
+    ``cells`` is a sequence of ``(row, col)`` pairs (or an equivalent
+    ``(n, 2)`` array); the area is the sum of ``delta_x[col] * delta_y[row]``
+    over them, evaluated with one gather per axis.
+    """
     dx = np.asarray(delta_x, dtype=np.float64)
     dy = np.asarray(delta_y, dtype=np.float64)
-    return float(sum(dx[c] * dy[r] for r, c in cells))
+    coords = np.asarray(cells, dtype=np.int64)
+    if coords.size == 0:
+        return 0.0
+    return float((dx[coords[:, 1]] * dy[coords[:, 0]]).sum())

@@ -118,6 +118,8 @@ class LegalizationReport:
             f"  solved           {self.stats.solved}/{self.stats.attempted} "
             f"({self.success_rate:.0%}), {self.stats.solutions} pattern(s), "
             f"{self.stats.total_iterations} solver iteration(s)",
+            f"  fast path        {self.stats.fast_path_solutions}/{self.stats.solutions} "
+            f"solution(s) via repair ({self.stats.fast_path_fraction:.0%})",
         ]
         return "\n".join(lines)
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..squish import SquishPattern
 from ..utils import as_rng, child_rng, resolve_seed
-from .constraints import extract_constraints
+from .compiled import compiled_for_topology
 from .rules import DesignRules
 from .solver import GeometrySolution, SolverOptions, solve_geometry
 
@@ -29,6 +29,9 @@ class LegalizationStats:
     total_solver_time: float = 0.0
     total_iterations: int = 0
     solutions: int = 0
+    #: How many of ``solutions`` the repair-first projection produced without
+    #: an SLSQP call (always 0 under ``solver_mode="slsqp"``).
+    fast_path_solutions: int = 0
 
     @property
     def average_time_per_solution(self) -> float:
@@ -38,6 +41,11 @@ class LegalizationStats:
     def success_rate(self) -> float:
         return self.solved / self.attempted if self.attempted else 0.0
 
+    @property
+    def fast_path_fraction(self) -> float:
+        """Fraction of solutions legalised by the repair fast path."""
+        return self.fast_path_solutions / self.solutions if self.solutions else 0.0
+
     def merge(self, other: "LegalizationStats") -> "LegalizationStats":
         """Fold another stats block into this one (shard aggregation)."""
         self.attempted += other.attempted
@@ -46,6 +54,7 @@ class LegalizationStats:
         self.total_solver_time += other.total_solver_time
         self.total_iterations += other.total_iterations
         self.solutions += other.solutions
+        self.fast_path_solutions += other.fast_path_solutions
         return self
 
 
@@ -181,17 +190,21 @@ class Legalizer:
         """
         gen = as_rng(rng)
         topology = np.asarray(topology)
-        constraints = extract_constraints(topology, self.rules.width_min, self.rules.space_min)
+        # The compiled kernel is cached by topology content + rules, so the
+        # constraint extraction and array compilation are paid once even
+        # across multi-solution solves, restart attempts, and repeats of the
+        # same topology within a batch.
+        compiled = compiled_for_topology(topology, self.rules)
         result = LegalizedTopology(topology=topology.astype(np.uint8))
         self.stats.attempted += 1
 
         for solution_index in range(num_solutions):
             if solution_index == 0 and self.reference_geometries:
-                target_x, target_y = self._pick_targets(constraints.shape, gen)
+                target_x, target_y = self._pick_targets(compiled.shape, gen)
             else:
                 target_x, target_y = None, None
             solution = solve_geometry(
-                constraints,
+                compiled,
                 self.rules,
                 target_x=target_x,
                 target_y=target_y,
@@ -205,6 +218,8 @@ class Legalizer:
                 # still tried with fresh random targets.
                 continue
             self.stats.solutions += 1
+            if solution.method == "repair":
+                self.stats.fast_path_solutions += 1
             result.solutions.append(solution)
             result.patterns.append(
                 SquishPattern(

@@ -63,6 +63,11 @@ class DiffPatternConfig:
     #: Topologies per legalization pool task; ``None`` derives a balanced
     #: default from the batch and worker count.  Never changes output values.
     legalize_chunk_size: "int | None" = None
+    #: Legalisation solve strategy: ``"auto"`` tries the deterministic repair
+    #: projection before falling back to SLSQP (fastest; deterministic per
+    #: seed), ``"slsqp"`` always runs the full solve (bit-identical to the
+    #: historical solver — the ``paper-tables`` scenario pins it).
+    solver_mode: str = "auto"
     #: Samples pulled per streaming-generation-graph step (``None`` falls
     #: back to ``sample_batch_size``).  Bounds peak memory of a streamed
     #: ``run()``; the generated result is identical for any value.
@@ -72,6 +77,12 @@ class DiffPatternConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        from ..legalization import SOLVER_MODES
+
+        if self.solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                f"solver_mode must be one of {SOLVER_MODES}, got {self.solver_mode!r}"
+            )
         if self.dataset.rules != self.rules:
             # Keep one source of truth for the rules across the pipeline.
             self.dataset = DatasetConfig(

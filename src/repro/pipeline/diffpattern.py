@@ -21,7 +21,7 @@ from ..baselines.base import TopologyGenerator
 from ..data import LayoutPatternDataset
 from ..diffusion import DiscreteDiffusion
 from ..drc import DesignRuleChecker
-from ..legalization import LegalizationEngine, LegalizationReport
+from ..legalization import LegalizationEngine, LegalizationReport, SolverOptions
 from ..metrics import pattern_diversity, topology_diversity
 from ..nn import UNet
 from ..prefilter import TopologyPrefilter
@@ -256,7 +256,7 @@ class DiffPatternPipeline:
         # The dataset is compared by identity (and retained, so a freed
         # object's address can never alias it); dataclass equality would
         # compare whole pattern arrays.
-        key = (use_reference_geometries, workers, chunk_size)
+        key = (use_reference_geometries, workers, chunk_size, self.config.solver_mode)
         if (
             self._legalization_engine is None
             or self._legalization_engine_dataset is not self.dataset
@@ -270,6 +270,7 @@ class DiffPatternPipeline:
             self._legalization_engine = LegalizationEngine(
                 self.config.rules,
                 reference_geometries=references,
+                options=SolverOptions(solver_mode=self.config.solver_mode),
                 workers=workers,
                 chunk_size=chunk_size,
             )

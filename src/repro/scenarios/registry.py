@@ -46,6 +46,11 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
         "preset": "tiny",
         "diffusion": {"num_steps": 32, "lambda_ce": 0.05},
         "training": {"iterations": 900, "num_patterns": 256},
+        # Pinned to the full SLSQP solve: the committed Table I/II baselines
+        # were recorded with it, and "slsqp" is the bit-identical mode (the
+        # repair-first "auto" default is faster but yields different — still
+        # legal — geometries).  Inherited by the scenarios extending this one.
+        "engine": {"solver_mode": "slsqp"},
         "run": {"num_generated": 24, "num_solutions": 1, "seed": 0},
     },
     "dense": {
@@ -72,6 +77,9 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
     "hotspot-expansion": {
         "description": "DiffPattern-L library multiplication for hotspot training data",
         "extends": "paper-tables",
+        # Library multiplication is throughput-bound, so this child opts back
+        # into the repair-first fast path its parent pins off.
+        "engine": {"solver_mode": "auto"},
         "run": {"num_solutions": 8, "num_generated": 16, "dedup": True},
     },
 }

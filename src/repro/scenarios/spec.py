@@ -47,7 +47,7 @@ from typing import Any, Mapping
 
 from ..data import DatasetConfig
 from ..diffusion import DiffusionConfig
-from ..legalization import DesignRules
+from ..legalization import SOLVER_MODES, DesignRules
 from ..prefilter import PrefilterConfig
 
 __all__ = ["ScenarioError", "ScenarioSpec", "RunPlan", "SECTION_KEYS"]
@@ -76,7 +76,11 @@ _ENGINE_KEYS = (
     "workers",
     "legalize_chunk_size",
     "stream_chunk_size",
+    "solver_mode",
 )
+
+#: Engine fields that hold strings (everything else coerces through int).
+_ENGINE_STR_KEYS = ("solver_mode",)
 
 _TRAINING_KEYS = ("iterations", "batch_size", "num_patterns")
 
@@ -301,7 +305,17 @@ class ScenarioSpec:
             for key, value in self.sections.get("model", {}).items():
                 setattr(config, key, value if key in _TUPLE_KEYS else _numeric(key, value))
             for key, value in self.sections.get("engine", {}).items():
-                setattr(config, key, None if value is None else int(value))
+                if key in _ENGINE_STR_KEYS:
+                    setattr(config, key, str(value))
+                else:
+                    setattr(config, key, None if value is None else int(value))
+            # Engine fields bypass __post_init__, so re-validate the solve
+            # strategy here where the error names the scenario.
+            if config.solver_mode not in SOLVER_MODES:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: solver_mode must be one of "
+                    f"{SOLVER_MODES}, got {config.solver_mode!r}"
+                )
             training = self.sections.get("training", {})
             if "iterations" in training:
                 config.train_iterations = int(training["iterations"])
@@ -365,7 +379,7 @@ class RunPlan:
             f"{'streamed' if self.stream else 'batch'}",
             f"  engine           sample_batch={cfg.sample_batch_size}, "
             f"workers={cfg.workers}, stream_chunk={cfg.stream_chunk_size}, "
-            f"dedup={'on' if self.dedup else 'off'}",
+            f"solver={cfg.solver_mode}, dedup={'on' if self.dedup else 'off'}",
         ]
         if self.description:
             lines.insert(1, f"  description      {self.description}")

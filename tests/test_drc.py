@@ -74,6 +74,32 @@ class TestViolations:
         text = str(violation)
         assert "width" in text and "10.0" in text and "30.0" in text
 
+    def test_area_violation_reports_representative_cell(self, checker):
+        # Two polygons; only the second is undersized, and its location must
+        # name one of its own cells on the *canonical* grid (identical
+        # columns 0-1 merge, so the bad cell lands at (2, 2)) — not the old
+        # (index, index) placeholder, which would have claimed (1, 1).
+        topo = [
+            [0, 0, 0, 0, 0],
+            [1, 1, 0, 0, 0],
+            [1, 1, 0, 1, 0],
+            [0, 0, 0, 0, 0],
+        ]
+        pattern = pattern_from(topo, [100, 100, 80, 20, 100], [100, 100, 20, 180])
+        report = checker.check_pattern(pattern)
+        areas = [v for v in report.violations if v.rule == "area"]
+        assert len(areas) == 1
+        assert areas[0].location == (2, 2)
+
+    def test_area_violation_str_names_the_offending_cell(self, checker):
+        pattern = pattern_from([[0, 1], [0, 0]], [370, 30], [30, 370])
+        report = checker.check_pattern(pattern)
+        areas = [v for v in report.violations if v.rule == "area"]
+        assert len(areas) == 1
+        text = str(areas[0])
+        assert "(0, 1)" in text
+        assert "area" in text and "900.0" in text and "1000.0" in text
+
 
 class TestReportsAndRates:
     def test_report_count_by_rule(self, checker):

@@ -9,6 +9,8 @@ from repro.geometry import (
     connected_components,
     grid_to_rects,
     has_bowtie,
+    interior_runs_2d,
+    runs_2d,
     runs_of_value,
     validate_grid,
 )
@@ -109,6 +111,68 @@ class TestRuns:
 
     def test_runs_none(self):
         assert list(runs_of_value(np.zeros(4), 1)) == []
+
+
+class TestRuns2D:
+    """The vectorized kernels must match the per-line Python loops exactly."""
+
+    @staticmethod
+    def _reference_runs(grid, value):
+        triples = []
+        for r in range(grid.shape[0]):
+            for start, end in runs_of_value(grid[r], value):
+                triples.append((r, start, end))
+        return triples
+
+    @staticmethod
+    def _reference_interior(grid, value):
+        triples = []
+        for r in range(grid.shape[0]):
+            line = grid[r]
+            ones = np.nonzero(line == 1)[0]
+            if ones.size == 0:
+                continue
+            first, last = int(ones[0]), int(ones[-1])
+            for start, end in runs_of_value(line, value):
+                if start > first and end < last:
+                    triples.append((r, start, end))
+        return triples
+
+    def test_matches_per_line_loop_on_random_grids(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            grid = (rng.random((rng.integers(1, 12), rng.integers(1, 12))) < 0.5).astype(np.uint8)
+            for value in (0, 1):
+                line, start, end = runs_2d(grid, value)
+                assert list(zip(line.tolist(), start.tolist(), end.tolist())) == (
+                    self._reference_runs(grid, value)
+                )
+
+    def test_interior_matches_per_line_loop(self):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            grid = (rng.random((rng.integers(1, 12), rng.integers(1, 12))) < 0.4).astype(np.uint8)
+            line, start, end = interior_runs_2d(grid, 0)
+            assert list(zip(line.tolist(), start.tolist(), end.tolist())) == (
+                self._reference_interior(grid, 0)
+            )
+
+    def test_transposed_view_gives_column_runs(self):
+        grid = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.uint8)
+        line, start, end = runs_2d(grid.T, 1)
+        assert list(zip(line.tolist(), start.tolist(), end.tolist())) == [
+            (0, 0, 1),
+            (1, 2, 2),
+        ]
+
+    def test_border_runs_are_not_interior(self):
+        grid = np.array([[0, 1, 0, 1, 0]], dtype=np.uint8)
+        line, start, end = interior_runs_2d(grid, 0)
+        assert list(zip(line.tolist(), start.tolist(), end.tolist())) == [(0, 2, 2)]
+
+    def test_empty_line_yields_nothing(self):
+        line, start, end = runs_2d(np.zeros((2, 3), dtype=np.uint8), 1)
+        assert line.size == 0 and start.size == 0 and end.size == 0
 
 
 class TestGridToRects:

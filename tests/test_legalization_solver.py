@@ -21,6 +21,28 @@ def rules():
     return DesignRules()
 
 
+def _reference_round_preserving_sum(values: np.ndarray, total: int) -> np.ndarray:
+    """The original per-unit loop, kept as the oracle for the vectorized form."""
+    floors = np.floor(values).astype(np.int64)
+    floors = np.maximum(floors, 1)
+    deficit = int(total - floors.sum())
+    if deficit > 0:
+        remainders = values - np.floor(values)
+        order = np.argsort(-remainders)
+        for i in range(deficit):
+            floors[order[i % len(order)]] += 1
+    elif deficit < 0:
+        order = np.argsort(-floors)
+        i = 0
+        while deficit < 0:
+            idx = order[i % len(order)]
+            if floors[idx] > 1:
+                floors[idx] -= 1
+                deficit += 1
+            i += 1
+    return floors
+
+
 class TestRounding:
     def test_sum_preserved(self):
         values = np.array([10.4, 20.7, 68.9])
@@ -38,6 +60,48 @@ class TestRounding:
         values = np.array([50.9, 50.9])
         rounded = _round_preserving_sum(values, 100)
         assert rounded.sum() == 100
+
+    def test_vectorized_rounding_matches_reference_loop(self):
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            n = int(rng.integers(1, 24))
+            values = rng.uniform(0.01, 60.0, size=n)
+            # Totals both above and below the floored sum exercise the
+            # surplus and deficit redistribution paths.
+            total = max(n, int(rng.integers(n, 4 * n * 30)))
+            np.testing.assert_array_equal(
+                _round_preserving_sum(values.copy(), total),
+                _reference_round_preserving_sum(values.copy(), total),
+            )
+
+    def test_deficit_larger_than_length_wraps_the_order(self):
+        # deficit = 97 over 3 entries: every entry gains 32 and the largest
+        # remainder gains one more, exactly like the cycling loop.
+        values = np.array([1.9, 1.2, 0.5])
+        rounded = _round_preserving_sum(values, 100)
+        np.testing.assert_array_equal(
+            rounded, _reference_round_preserving_sum(values, 100)
+        )
+        assert rounded.sum() == 100
+
+
+class TestPolygonArea:
+    def test_vectorized_area_matches_per_cell_sum(self):
+        rng = np.random.default_rng(12)
+        for _ in range(50):
+            rows, cols = int(rng.integers(1, 10)), int(rng.integers(1, 10))
+            n_cells = int(rng.integers(1, rows * cols + 1))
+            cells = [
+                (int(r), int(c))
+                for r, c in zip(rng.integers(0, rows, n_cells), rng.integers(0, cols, n_cells))
+            ]
+            dx = rng.integers(1, 300, size=cols).astype(np.int64)
+            dy = rng.integers(1, 300, size=rows).astype(np.int64)
+            expected = float(sum(int(dx[c]) * int(dy[r]) for r, c in cells))
+            assert polygon_area(cells, dx, dy) == expected
+
+    def test_empty_cell_list_has_zero_area(self):
+        assert polygon_area([], np.array([1, 2]), np.array([3, 4])) == 0.0
 
 
 class TestSolveTopology:

@@ -76,6 +76,18 @@ class TestSpecValidation:
         spec = ScenarioSpec.from_dict("m", {"model": {"channel_mult": [1, 2, 4]}})
         assert spec.lower().config.channel_mult == (1, 2, 4)
 
+    def test_solver_mode_reaches_config(self):
+        spec = ScenarioSpec.from_dict("pinned", {"engine": {"solver_mode": "slsqp"}})
+        assert spec.lower().config.solver_mode == "slsqp"
+
+    def test_solver_mode_defaults_to_auto(self):
+        assert ScenarioSpec.from_dict("plain", {}).lower().config.solver_mode == "auto"
+
+    def test_invalid_solver_mode_is_scenario_error(self):
+        spec = ScenarioSpec.from_dict("bad", {"engine": {"solver_mode": "newton"}})
+        with pytest.raises(ScenarioError, match="newton"):
+            spec.lower()
+
 
 # --------------------------------------------------------------------------- #
 # registry / override chains
@@ -217,6 +229,7 @@ class TestLoweringParity:
         legacy = DiffPatternConfig.tiny()
         legacy.diffusion = DiffusionConfig(num_steps=32, lambda_ce=0.05)
         legacy.train_iterations = 900
+        legacy.solver_mode = "slsqp"  # the scenario pins the bit-identical solve
         plan = builtin_registry().resolve("paper-tables").lower()
         assert plan.config == legacy
         assert plan.num_training_patterns == 256
@@ -249,3 +262,11 @@ class TestLoweringParity:
     def test_lowering_is_repeatable(self):
         spec = builtin_registry().resolve("rule-migration")
         assert spec.lower().config == spec.lower().config
+
+    def test_paper_tables_lineage_pins_slsqp_but_hotspot_opts_out(self):
+        registry = builtin_registry()
+        assert registry.resolve("paper-tables").lower().config.solver_mode == "slsqp"
+        # rule-migration inherits the pin through extends...
+        assert registry.resolve("rule-migration").lower().config.solver_mode == "slsqp"
+        # ...while hotspot-expansion explicitly opts back into the fast path.
+        assert registry.resolve("hotspot-expansion").lower().config.solver_mode == "auto"
