@@ -1,0 +1,167 @@
+"""Few-step respaced sampling — U-Net evaluation savings vs the Table I band.
+
+The ``fewstep-tables`` scenario walks 6 of the trained 32 denoising steps
+over an evenly respaced chain (composed jump-posterior tables, see
+``docs/sampling.md``).  This harness gates the speed claim against quality:
+
+* **Parity** — ``steps`` equal to the chain length must be bit-identical to
+  the unrespaced full chain (the respacing machinery is pure overhead-free
+  bookkeeping at that setting).
+* **Speed** — the 6-step schedule must run at least 5x fewer denoiser
+  forward passes per sample than the full chain, and the measured sampling
+  wall-clock must follow (gated loosely; timing varies with the host).
+* **Quality** — the few-step samples go through the same
+  prefilter/legalize/DRC graph as Table I; legality of everything emitted
+  stays 100 % (white-box legaliser) and the pattern diversity H stays within
+  a band of the full-chain run.
+
+Unlike the other harnesses this file trains its own pipeline: the chain
+length is pinned to 32 even under ``REPRO_BENCH_FAST`` (training cost is
+iteration-bound, not chain-length-bound), because an 8-step chain makes a
+">= 5x fewer evaluations" schedule degenerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import (
+    BENCH_WORKERS,
+    FAST_MODE,
+    NUM_GENERATED,
+    TRAIN_ITERATIONS,
+    TRAIN_PATTERNS,
+    write_metrics,
+    write_result,
+)
+
+from repro.pipeline import DiffPatternPipeline, evaluate_diffpattern, format_table
+from repro.scenarios import builtin_registry
+
+#: Chain length of this harness, fixed across fast/full mode (see module
+#: docstring).  32 is the ``paper-tables`` benchmark chain.
+CHAIN_STEPS = 32
+
+#: The registry scenario under test; its ``sampling.steps = 6`` against the
+#: 32-step chain is the 5.33x operating point the gate certifies.
+FEWSTEP_SCENARIO = "fewstep-tables"
+
+#: Fast mode keeps the 32-step chain, so the shared 30-iteration budget
+#: leaves the model too raw to emit any pattern — every quality metric would
+#: gate-skip.  The smoke-scenario budget (still seconds of CPU) is enough
+#: for the prefilter to pass samples, which keeps the band measurable.
+FEWSTEP_TRAIN_ITERATIONS = 150 if FAST_MODE else TRAIN_ITERATIONS
+
+
+def _fewstep_plan():
+    """The ``fewstep-tables`` plan with the active benchmark scales layered on."""
+    spec = builtin_registry().resolve(FEWSTEP_SCENARIO).with_overrides(
+        {
+            "diffusion": {"num_steps": CHAIN_STEPS},
+            "training": {"iterations": FEWSTEP_TRAIN_ITERATIONS, "num_patterns": TRAIN_PATTERNS},
+            "engine": {"workers": BENCH_WORKERS},
+            "run": {"num_generated": NUM_GENERATED},
+        }
+    )
+    return spec.lower()
+
+
+@pytest.fixture(scope="module")
+def fewstep_pipeline() -> DiffPatternPipeline:
+    """A pipeline trained on the pinned 32-step chain (not the conftest one)."""
+    plan = _fewstep_plan()
+    pipeline = DiffPatternPipeline(plan.config)
+    pipeline.prepare_data(plan.num_training_patterns, rng=0)
+    pipeline.train(rng=0)
+    return pipeline
+
+
+def bench_fewstep_sampling(benchmark, fewstep_pipeline):
+    """Speed and quality of the respaced 6-step sampler vs the full chain."""
+    pipeline = fewstep_pipeline
+    config = pipeline.config
+    fewstep = _fewstep_plan().config.sampling_steps  # 6, from the registry
+
+    # --- parity: steps == chain length is bit-identical to the full chain
+    config.sampling_steps = None
+    full_topologies = pipeline.generate_topologies(NUM_GENERATED, rng=0)
+    full_report = pipeline.last_sampling_report
+    config.sampling_steps = CHAIN_STEPS
+    respaced_topologies = pipeline.generate_topologies(NUM_GENERATED, rng=0)
+    parity = bool(np.array_equal(full_topologies, respaced_topologies))
+    assert parity, "steps == chain length must reproduce the full chain bit-for-bit"
+
+    # --- timed section: the few-step sampler
+    config.sampling_steps = fewstep
+
+    def fewstep_batch():
+        return pipeline.generate_topologies(NUM_GENERATED, rng=0)
+
+    benchmark.pedantic(fewstep_batch, rounds=1, iterations=1)
+    few_report = pipeline.last_sampling_report
+
+    eval_ratio = full_report.evals_per_sample / few_report.evals_per_sample
+    speedup = (
+        full_report.total_seconds / few_report.total_seconds
+        if few_report.total_seconds
+        else None
+    )
+    assert eval_ratio >= 5.0, (
+        f"default strided setting must save >= 5x denoiser evaluations, "
+        f"got {eval_ratio:.2f}x"
+    )
+
+    # --- quality band: both schedules through the full Table I scoring path
+    config.sampling_steps = None
+    full_row = evaluate_diffpattern(
+        pipeline, NUM_GENERATED, num_solutions=1, rng=0,
+        name=f"DiffPattern-S ({CHAIN_STEPS} steps)",
+    )
+    config.sampling_steps = fewstep
+    few_row = evaluate_diffpattern(
+        pipeline, NUM_GENERATED, num_solutions=1, rng=0,
+        name=f"DiffPattern-S ({fewstep} steps)",
+    )
+
+    table = format_table([full_row, few_row])
+    lines = [
+        table,
+        "",
+        f"full chain sampling ({CHAIN_STEPS} steps):",
+        full_report.format(),
+        "",
+        f"respaced sampling ({fewstep} of {CHAIN_STEPS} steps):",
+        few_report.format(),
+    ]
+    write_result("fewstep_sampling.txt", "\n".join(lines))
+
+    write_metrics(
+        "fewstep_sampling",
+        {
+            "fast_mode": FAST_MODE,
+            "chain_steps": CHAIN_STEPS,
+            "fewstep_steps": fewstep,
+            "parity_full_vs_respaced_full": parity,
+            "unet_eval_ratio": eval_ratio,
+            "speedup_fewstep_sampling": speedup,
+            "full_patterns": full_row.generated_patterns,
+            "fewstep_patterns": few_row.generated_patterns,
+            # Everything DiffPattern emits is white-box legalised; an
+            # under-trained fast-mode model may emit nothing, which measures
+            # nothing — report null (gate-skipped) rather than a fake 0.0.
+            "fewstep_legality": (
+                few_row.legality if few_row.generated_patterns else None
+            ),
+            "diversity_ratio_fewstep_over_full": (
+                few_row.generated_diversity / full_row.generated_diversity
+                if few_row.generated_patterns
+                and full_row.generated_patterns
+                and full_row.generated_diversity
+                else None
+            ),
+        },
+    )
+
+    if few_row.generated_patterns:
+        assert few_row.legality == 1.0

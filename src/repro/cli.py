@@ -84,6 +84,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "slsqp = full solve, bit-identical to the historical solver)",
     )
     parser.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="override sampling.steps: denoising steps per sample on the "
+        "evenly respaced chain (0 = full trained chain; fewer steps = "
+        "fewer U-Net evaluations, see docs/sampling.md)",
+    )
+    parser.add_argument(
         "--batch", action="store_true",
         help="single-barrier path instead of streaming (identical output)",
     )
@@ -171,6 +177,7 @@ def knob_overrides(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     solver_mode: "str | None" = None,
+    steps: "int | None" = None,
     stream: "bool | None" = None,
     dedup: bool = False,
 ) -> dict:
@@ -194,6 +201,10 @@ def knob_overrides(
         engine["stream_chunk_size"] = chunk_size
     if solver_mode is not None:
         engine["solver_mode"] = solver_mode
+    sampling = {}
+    if steps is not None:
+        # 0 keeps the TOML convention: "no null literal" -> full chain.
+        sampling["steps"] = steps
     run = {}
     if generate is not None:
         run["num_generated"] = generate
@@ -210,6 +221,8 @@ def knob_overrides(
         overrides["training"] = training
     if engine:
         overrides["engine"] = engine
+    if sampling:
+        overrides["sampling"] = sampling
     if run:
         overrides["run"] = run
     return overrides
@@ -226,6 +239,7 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         workers=args.workers,
         chunk_size=args.chunk_size,
         solver_mode=args.solver_mode,
+        steps=args.steps,
         stream=False if args.batch else None,
         dedup=args.dedup,
     )
@@ -248,12 +262,18 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
         spec = registry.resolve(name)
         plan = spec.lower()
         print(f"{name:<20} {spec.description}")
+        steps = plan.config.sampling_steps
+        sampler = (
+            f"  sampler={steps}/{plan.config.diffusion.num_steps} steps"
+            if steps is not None
+            else ""
+        )
         print(
             f"{'':<20} preset={spec.preset or 'tiny'}  "
             f"generate={plan.num_generated}x{plan.num_solutions}  "
             f"rules(space={plan.config.rules.space_min}, "
             f"area<={plan.config.rules.area_max})  "
-            f"train={plan.config.train_iterations} it"
+            f"train={plan.config.train_iterations} it{sampler}"
         )
         if args.verbose:
             print(json.dumps(spec.as_dict(), indent=2, sort_keys=True))
@@ -373,6 +393,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "pattern_diversity": result.pattern_diversity,
             "sampling_samples_per_second": (
                 sampling.samples_per_second if sampling is not None else None
+            ),
+            "sampling_steps": (
+                sampling.num_steps if sampling is not None else None
+            ),
+            "sampling_chain_steps": (
+                sampling.chain_steps if sampling is not None else None
+            ),
+            "sampling_model_evals": (
+                sampling.model_evals if sampling is not None else None
             ),
             "legalize_topologies_per_second": (
                 legalization.topologies_per_second

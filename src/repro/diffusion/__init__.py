@@ -6,6 +6,7 @@ from .gaussian import (
     GaussianTopologyDiffusion,
     gaussian_unet_config,
 )
+from .respacing import RespacedSchedule, respaced_timesteps
 from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
 from .transition import (
     DiscreteTransitionModel,
@@ -24,6 +25,8 @@ __all__ = [
     "categorical_from_uniforms",
     "one_hot",
     "binary_flip_probability",
+    "RespacedSchedule",
+    "respaced_timesteps",
     "DiffusionConfig",
     "DiscreteDiffusion",
     "GaussianDiffusionConfig",

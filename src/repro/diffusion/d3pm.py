@@ -35,13 +35,23 @@ class DiffusionConfig:
     clip ``1.0``.  Tests and laptop runs shrink ``num_steps`` and the U-Net.
     """
 
+    #: Length ``K`` of the forward/reverse chain.  The sampler may walk a
+    #: respaced subsequence of it (see :class:`~repro.diffusion.RespacedSchedule`).
     num_steps: int = 1000
+    #: Flip probability of the first forward step (Eq. 8 linear schedule).
     beta_start: float = 0.01
+    #: Flip probability of the last forward step.
     beta_end: float = 0.5
+    #: Weight of the auxiliary cross-entropy term in the hybrid loss (Eq. 9).
     lambda_ce: float = 0.001
+    #: Adam learning rate used by :meth:`DiscreteDiffusion.fit`.
     learning_rate: float = 2e-4
+    #: Global gradient-norm clip applied per training step.
     grad_clip: float = 1.0
+    #: Discrete state count ``S`` (2 for binary layout topologies).
     num_states: int = 2
+    #: Transition family: ``"binary"``, ``"uniform"`` or ``"absorbing"``
+    #: (see :class:`~repro.diffusion.transition.DiscreteTransitionModel`).
     transition_kind: str = "binary"
 
 
@@ -54,6 +64,25 @@ class DiscreteDiffusion:
         config: "DiffusionConfig | None" = None,
         schedule: "NoiseSchedule | None" = None,
     ) -> None:
+        """Couple a U-Net posterior predictor with a transition model.
+
+        Parameters
+        ----------
+        model:
+            The ``x_0``-posterior backbone; its ``num_classes`` must equal
+            the diffusion state count.
+        config:
+            Hyper-parameters; defaults to :class:`DiffusionConfig`.
+        schedule:
+            Explicit noise schedule; defaults to the paper's linear schedule
+            over ``config.num_steps`` steps.
+
+        Raises
+        ------
+        ValueError
+            If the schedule length disagrees with ``config.num_steps``, or
+            the U-Net's class count disagrees with ``config.num_states``.
+        """
         self.config = config if config is not None else DiffusionConfig()
         self.model = model
         if schedule is None:
@@ -139,6 +168,12 @@ class DiscreteDiffusion:
         k:
             Optional fixed timestep (used by tests); otherwise sampled
             uniformly from ``[1, K]`` per batch.
+
+        Returns
+        -------
+        tuple[Tensor, dict[str, float]]
+            The scalar loss tensor (differentiable) and a metrics dict with
+            ``loss`` / ``kl`` / ``ce`` / ``step`` entries.
         """
         gen = as_rng(rng)
         x0 = np.asarray(x0, dtype=np.int64)
@@ -195,8 +230,34 @@ class DiscreteDiffusion:
     ) -> list[dict[str, float]]:
         """Train the backbone on a dataset of clean topology tensors.
 
-        ``dataset`` has shape ``(num_samples, C, M, M)``.  Returns the list of
-        per-iteration metric dictionaries.
+        Parameters
+        ----------
+        dataset:
+            Integer array of shape ``(num_samples, C, M, M)``.
+        iterations:
+            Optimisation steps to run (one random mini-batch each).
+        batch_size:
+            Mini-batch size, capped at the dataset size.
+        rng:
+            Randomness for batch selection, timesteps and forward corruption.
+        optimizer:
+            Optional pre-built optimiser (resuming training keeps its
+            moments); defaults to Adam at ``config.learning_rate``.
+        log_every:
+            Print a progress line every that-many iterations (0 = silent).
+        callback:
+            Optional ``callback(iteration, metrics)`` hook per iteration.
+
+        Returns
+        -------
+        list[dict[str, float]]
+            Per-iteration metric dictionaries (loss terms plus
+            ``grad_norm`` / ``iteration``).
+
+        Raises
+        ------
+        ValueError
+            If ``dataset`` is not 4-dimensional.
         """
         gen = as_rng(rng)
         data = np.asarray(dataset, dtype=np.int64)

@@ -32,6 +32,23 @@ class DiscreteTransitionModel:
         num_states: int = 2,
         kind: str = "binary",
     ) -> None:
+        """Build (and cache) every per-step and cumulative matrix up front.
+
+        Parameters
+        ----------
+        schedule:
+            Per-step noise levels ``beta_1 .. beta_K``.
+        num_states:
+            Discrete state count ``S`` (>= 2).
+        kind:
+            Transition family: ``"binary"``, ``"uniform"`` or ``"absorbing"``.
+
+        Raises
+        ------
+        ValueError
+            For ``num_states < 2``, an unknown ``kind``, or the binary
+            family with ``num_states != 2``.
+        """
         if num_states < 2:
             raise ValueError("num_states must be >= 2")
         if kind == "binary" and num_states != 2:

@@ -72,6 +72,14 @@ class DiffPatternConfig:
     #: back to ``sample_batch_size``).  Bounds peak memory of a streamed
     #: ``run()``; the generated result is identical for any value.
     stream_chunk_size: "int | None" = None
+    #: Denoising steps the sampler walks per sample.  ``None`` walks the
+    #: full trained chain; a smaller value samples the evenly respaced
+    #: few-step chain (that many U-Net evaluations per sample — see
+    #: ``docs/sampling.md``).  Unlike the chunk/worker knobs this *changes
+    #: the sampled values* (except at the full chain length, which is
+    #: bit-identical to ``None``); the few-step quality gate in
+    #: ``benchmarks/bench_fewstep_sampling.py`` bounds the cost.
+    sampling_steps: "int | None" = None
     #: Base random seed: drives dataset synthesis, weight init, training
     #: order, and generation when no explicit ``rng`` is passed.
     seed: int = 0
@@ -82,6 +90,13 @@ class DiffPatternConfig:
         if self.solver_mode not in SOLVER_MODES:
             raise ValueError(
                 f"solver_mode must be one of {SOLVER_MODES}, got {self.solver_mode!r}"
+            )
+        if self.sampling_steps is not None and not (
+            1 <= self.sampling_steps <= self.diffusion.num_steps
+        ):
+            raise ValueError(
+                f"sampling_steps must lie in [1, {self.diffusion.num_steps}] "
+                f"(the trained chain length), got {self.sampling_steps}"
             )
         if self.dataset.rules != self.rules:
             # Keep one source of truth for the rules across the pipeline.

@@ -66,6 +66,7 @@ class DiffPatternPipeline:
         self.checker = DesignRuleChecker(self.config.rules)
         self.training_history: list[dict[str, float]] = []
         self._engine: "SamplingEngine | None" = None
+        self._engine_key: "tuple | None" = None
         self._sampling_report: "SamplingReport | None" = None
         self._legalization_report: "LegalizationReport | None" = None
         self._legalization_engine: "LegalizationEngine | None" = None
@@ -156,7 +157,11 @@ class DiffPatternPipeline:
         """The batched inference engine over the pipeline's diffusion model.
 
         Built lazily and rebuilt if the underlying model is replaced (e.g. by
-        :meth:`build_model` after a checkpoint load).
+        :meth:`build_model` after a checkpoint load) or a sampler knob
+        (:attr:`DiffPatternConfig.sample_batch_size`,
+        :attr:`DiffPatternConfig.sampling_steps`) changes.  The engine walks
+        the full chain unless ``sampling_steps`` asks for a respaced
+        few-step schedule.
 
         Raises
         ------
@@ -166,10 +171,18 @@ class DiffPatternPipeline:
         """
         if self.diffusion is None:
             raise RuntimeError("train (or build_model) must be called before sampling")
-        if self._engine is None or self._engine.diffusion is not self.diffusion:
+        key = (self.config.sample_batch_size, self.config.sampling_steps)
+        if (
+            self._engine is None
+            or self._engine.diffusion is not self.diffusion
+            or self._engine_key != key
+        ):
             self._engine = SamplingEngine(
-                self.diffusion, batch_size=self.config.sample_batch_size
+                self.diffusion,
+                batch_size=self.config.sample_batch_size,
+                steps=self.config.sampling_steps,
             )
+            self._engine_key = key
         return self._engine
 
     @property

@@ -23,6 +23,12 @@ from calling ``DiscreteDiffusion.sample`` directly in three ways:
   (``mixing``) versus initialisation, plus samples/second, so efficiency
   regressions show up in the Table II benchmark rather than anecdotes.
 
+* **Few-step respaced sampling** — the ``steps`` knob walks a
+  :class:`~repro.diffusion.RespacedSchedule` instead of every chain step:
+  the denoising network runs once per *retained* timestep and the reverse
+  draws use composed jump-posterior tables (see ``docs/sampling.md``).
+  ``steps`` equal to the chain length is bit-identical to the full chain.
+
 The ``batch_size`` knob bounds peak memory: chunks of at most that many
 samples are denoised per reverse pass, without changing any sampled value.
 """
@@ -34,7 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..diffusion import DiscreteDiffusion
+from ..diffusion import DiscreteDiffusion, RespacedSchedule
 from ..diffusion.transition import categorical_from_uniforms
 from ..nn import no_grad
 from ..utils import resolve_seed
@@ -44,12 +50,21 @@ __all__ = ["SamplingEngine", "SamplingReport", "resolve_seed"]
 
 @dataclass
 class SamplingReport:
-    """Per-phase throughput of one :class:`SamplingEngine` run."""
+    """Per-phase throughput of one :class:`SamplingEngine` run.
+
+    ``num_steps`` counts the denoising steps *walked* per sample (the
+    respaced count under a strided schedule); ``chain_steps`` is the length
+    of the trained chain, so ``chain_steps / num_steps`` is the per-sample
+    network-evaluation saving.  ``model_evals`` counts actual denoiser
+    forward passes (chunks × steps) across the run.
+    """
 
     num_samples: int
     num_steps: int
     batch_size: int
     num_chunks: int
+    chain_steps: int = 0
+    model_evals: int = 0
     total_seconds: float = 0.0
     model_seconds: float = 0.0
     mixing_seconds: float = 0.0
@@ -68,23 +83,34 @@ class SamplingReport:
         """Share of wall-clock spent inside the denoising network."""
         return self.model_seconds / self.total_seconds if self.total_seconds else 0.0
 
+    @property
+    def evals_per_sample(self) -> float:
+        """Denoiser forward passes per sample (``num_steps`` of the schedule)."""
+        return self.model_evals / self.num_samples if self.num_samples else 0.0
+
     def merge(self, other: "SamplingReport") -> "SamplingReport":
         """Fold another report into this one (streamed-run aggregation)."""
         self.num_samples += other.num_samples
         self.num_chunks += other.num_chunks
+        self.model_evals += other.model_evals
         self.total_seconds += other.total_seconds
         self.model_seconds += other.model_seconds
         self.mixing_seconds += other.mixing_seconds
         self.init_seconds += other.init_seconds
         self.num_steps = max(self.num_steps, other.num_steps)
+        self.chain_steps = max(self.chain_steps, other.chain_steps)
         self.batch_size = max(self.batch_size, other.batch_size)
         return self
 
     def format(self) -> str:
+        if self.chain_steps and self.chain_steps != self.num_steps:
+            steps = f"{self.num_steps} of {self.chain_steps} steps (respaced)"
+        else:
+            steps = f"{self.num_steps} steps"
         lines = [
             f"samples            {self.num_samples} "
             f"(chunks of <= {self.batch_size}, {self.num_chunks} chunk(s), "
-            f"{self.num_steps} steps)",
+            f"{steps})",
             f"total              {self.total_seconds:.4f} s "
             f"({self.samples_per_second:.2f} samples/s, "
             f"{self.seconds_per_sample:.4f} s/sample)",
@@ -127,11 +153,23 @@ class SamplingEngine:
     inference:
         ``False`` routes the network through the taped forward pass —
         slower, used only to cross-check the array kernels.
+    steps:
+        Denoising steps to walk per sample.  ``None`` (default) walks the
+        full trained chain; a smaller value samples the evenly respaced
+        few-step chain (``steps`` network evaluations per sample, composed
+        jump posteriors — see ``docs/sampling.md``).  ``steps`` equal to
+        the chain length is bit-identical to ``None``.
+    schedule:
+        An explicit :class:`~repro.diffusion.RespacedSchedule` (e.g. with
+        hand-picked timesteps).  Mutually exclusive with ``steps``; must be
+        built over this diffusion model's transition.
 
     Raises
     ------
     ValueError
-        If ``batch_size`` is not positive.
+        If ``batch_size`` is not positive, ``steps`` is outside
+        ``[1, chain length]``, both ``steps`` and ``schedule`` are given,
+        or ``schedule`` belongs to a different transition model.
     """
 
     def __init__(
@@ -139,15 +177,34 @@ class SamplingEngine:
         diffusion: DiscreteDiffusion,
         batch_size: int = 32,
         inference: bool = True,
+        steps: "int | None" = None,
+        schedule: "RespacedSchedule | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if schedule is not None:
+            if steps is not None:
+                raise ValueError("pass either steps or schedule, not both")
+            if schedule.transition is not diffusion.transition:
+                raise ValueError(
+                    "schedule was built over a different transition model"
+                )
+        else:
+            schedule = RespacedSchedule(diffusion.transition, steps=steps)
         self.diffusion = diffusion
         self.batch_size = int(batch_size)
         #: ``False`` routes the network through the taped forward pass —
         #: slower, used only to cross-check the array kernels.
         self.inference = inference
+        #: The reverse-sampling schedule every run walks (full chain when no
+        #: ``steps`` was given).
+        self.schedule = schedule
         self.last_report: "SamplingReport | None" = None
+
+    @property
+    def steps(self) -> int:
+        """Denoising steps walked per sample (= denoiser evaluations)."""
+        return self.schedule.num_steps
 
     # ------------------------------------------------------------------ #
     # public API
@@ -243,13 +300,13 @@ class SamplingEngine:
             raise ValueError("first_index must be >= 0")
         base_seed = resolve_seed(seed)
         chunk_size = self.batch_size if batch_size is None else max(1, int(batch_size))
-        num_steps = self.diffusion.config.num_steps
         num_chunks = (num_samples + chunk_size - 1) // chunk_size
         report = SamplingReport(
             num_samples=num_samples,
-            num_steps=num_steps,
+            num_steps=self.schedule.num_steps,
             batch_size=chunk_size,
             num_chunks=num_chunks,
+            chain_steps=self.schedule.chain_steps,
         )
 
         model = self.diffusion.model
@@ -293,46 +350,58 @@ class SamplingEngine:
         report: SamplingReport,
         finals: list[np.ndarray],
     ) -> list[np.ndarray]:
-        """Reverse-diffuse one chunk; appends the final states to ``finals``."""
+        """Reverse-diffuse one chunk; appends the final states to ``finals``.
+
+        The loop walks the engine's :class:`~repro.diffusion.RespacedSchedule`
+        jump by jump.  Over the full chain every jump spans one step and the
+        body is exactly the classic ancestral sampler; under a strided
+        schedule the per-step posterior table is replaced by the composed
+        jump table — same gather, same mixing kernel, same one uniform draw
+        per jump, so chunk invariance is untouched.
+        """
         diffusion = self.diffusion
-        transition = diffusion.transition
+        schedule = self.schedule
         cfg = diffusion.model.config
         sample_shape = (cfg.in_channels, cfg.image_size, cfg.image_size)
-        num_steps = diffusion.config.num_steps
 
         tic = time.perf_counter()
         # One independent, deterministically seeded stream per sample index:
         # the drawn values depend only on (base_seed, index), never on how
         # samples are grouped into chunks.
         gens = [np.random.default_rng([base_seed, index]) for index in indices]
-        xk = np.stack([transition.sample_stationary(sample_shape, g) for g in gens], axis=0)
+        xk = np.stack(
+            [diffusion.transition.sample_stationary(sample_shape, g) for g in gens], axis=0
+        )
         report.init_seconds += time.perf_counter() - tic
 
         recorder = None
         if recorder_stride is not None:
-            recorder = _ChainRecorder(stride=recorder_stride, num_steps=num_steps)
+            recorder = _ChainRecorder(stride=recorder_stride, num_steps=schedule.chain_steps)
             recorder.record_initial(xk)
 
         # no_grad also covers the inference=False cross-check path, which
         # would otherwise build a full autodiff tape every denoising step.
         with no_grad():
-            for step in range(num_steps, 0, -1):
+            for cur, prev in schedule.jumps:
                 tic = time.perf_counter()
-                probs_x0 = diffusion.predict_x0_probs(xk, step, inference=self.inference)
+                probs_x0 = diffusion.predict_x0_probs(xk, cur, inference=self.inference)
                 report.model_seconds += time.perf_counter() - tic
+                report.model_evals += 1
 
                 tic = time.perf_counter()
                 probs_x0 = np.moveaxis(probs_x0, 2, -1)  # (N, C, M, M, S)
-                if step == 1 and greedy_final:
+                if prev == 0 and greedy_final:
                     xk = probs_x0.argmax(axis=-1).astype(np.int64)
                     report.mixing_seconds += time.perf_counter() - tic
                     if recorder is not None:
                         recorder.record_final(xk)
                     break
-                if step == 1:
+                if prev == 0:
+                    # q(x_0 | x_cur, x_0 = i) is the delta at i, so the
+                    # mixture collapses to the model posterior itself.
                     probs_prev = probs_x0
                 else:
-                    posterior_all = transition.posterior_table(step, dtype=np.float32)[xk]
+                    posterior_all = schedule.posterior_table(cur, prev, dtype=np.float32)[xk]
                     if posterior_all.shape[-1] == 2:
                         # Binary topologies: writing out the 2-state mixture is
                         # cheaper than dispatching einsum every step.
@@ -344,7 +413,7 @@ class SamplingEngine:
                 xk = categorical_from_uniforms(probs_prev, uniforms)
                 report.mixing_seconds += time.perf_counter() - tic
                 if recorder is not None:
-                    recorder.maybe_record(xk, step)
+                    recorder.maybe_record(xk, cur)
 
         finals.append(xk)
         return recorder.states if recorder is not None else []

@@ -206,6 +206,10 @@ class GenerationGraph:
             "num_samples": int(num_samples),
             "sample_seed": int(sample_seed),
             "legal_seed": int(legal_seed),
+            # The respaced step count changes the sampled values (unlike the
+            # chunk/worker knobs), so resuming under a different schedule
+            # must be rejected.
+            "sampling_steps": self.sampling_engine.steps,
             "chunk_size": self.chunk_size,
             "num_solutions": self.num_solutions,
             "rules": repr(self.legalization_engine.rules),

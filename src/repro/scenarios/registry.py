@@ -3,13 +3,16 @@
 The registry maps scenario names to :class:`~repro.scenarios.ScenarioSpec`
 objects and resolves ``extends`` chains (child-over-parent merge, cycle and
 unknown-target detection).  :func:`builtin_registry` returns a fresh registry
-pre-populated with the six shipped scenarios:
+pre-populated with the seven shipped scenarios:
 
 =================== =========================================================
 ``smoke``           Seconds-scale end-to-end run; the CI / CLI smoke gate.
 ``paper-tables``    Paper-faithful Table I/II regime at benchmark scale —
                     lowers bit-identically to the config the benchmark
                     harness has always used.
+``fewstep-tables``  ``paper-tables`` sampled over a respaced 6-step chain
+                    (5.3x fewer U-Net evaluations; quality-gated by
+                    ``benchmarks/bench_fewstep_sampling.py``).
 ``dense``           High-volume DiffPattern-L library build (laptop preset,
                     4 geometric solutions per topology, deduplicated store).
 ``sparse``          ``dense`` under the Fig. 8b migrated rules (3x minimum
@@ -17,7 +20,8 @@ pre-populated with the six shipped scenarios:
 ``rule-migration``  ``paper-tables`` re-legalised under the Fig. 8c rules
                     (5x smaller maximum area) — no retraining required.
 ``hotspot-expansion`` DiffPattern-L library multiplication for hotspot-
-                    detector training data (8 solutions per topology).
+                    detector training data (8 solutions per topology,
+                    respaced 6-step sampler for throughput).
 =================== =========================================================
 """
 
@@ -53,6 +57,13 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
         "engine": {"solver_mode": "slsqp"},
         "run": {"num_generated": 24, "num_solutions": 1, "seed": 0},
     },
+    "fewstep-tables": {
+        "description": "Table I/II regime on the respaced 6-step sampler (5.3x fewer U-Net evals)",
+        "extends": "paper-tables",
+        # 6 of the trained 32 steps: the default few-step operating point the
+        # quality gate in benchmarks/bench_fewstep_sampling.py keeps in band.
+        "sampling": {"steps": 6},
+    },
     "dense": {
         "description": "High-volume DiffPattern-L library build under normal rules",
         "preset": "laptop",
@@ -78,8 +89,10 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
         "description": "DiffPattern-L library multiplication for hotspot training data",
         "extends": "paper-tables",
         # Library multiplication is throughput-bound, so this child opts back
-        # into the repair-first fast path its parent pins off.
+        # into the repair-first fast path its parent pins off and samples the
+        # respaced few-step chain instead of the full one.
         "engine": {"solver_mode": "auto"},
+        "sampling": {"steps": 6},
         "run": {"num_solutions": 8, "num_generated": 16, "dedup": True},
     },
 }

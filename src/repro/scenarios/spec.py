@@ -24,6 +24,8 @@ A specification is a small nested mapping with a fixed schema::
         "model":     {"model_channels": ..., "channel_mult": ..., ...},
         "training":  {"iterations": ..., "batch_size": ..., "num_patterns": ...},
         "engine":    {"sample_batch_size": ..., "workers": ..., ...},
+        "sampling":  {"steps": ...},        # 0 = walk the full chain
+
         "run":       {"num_generated": ..., "num_solutions": ..., "seed": ...,
                       "stream": ..., "dedup": ..., "retain_topologies": ...},
     }
@@ -82,6 +84,11 @@ _ENGINE_KEYS = (
 #: Engine fields that hold strings (everything else coerces through int).
 _ENGINE_STR_KEYS = ("solver_mode",)
 
+#: DiffPatternConfig fields settable through the ``sampling`` section.
+#: ``steps`` strides the reverse sampler (``sampling_steps`` on the config);
+#: ``0`` means "walk the full chain" (TOML has no null literal).
+_SAMPLING_KEYS = ("steps",)
+
 _TRAINING_KEYS = ("iterations", "batch_size", "num_patterns")
 
 _RUN_KEYS = (
@@ -108,6 +115,7 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "model": _MODEL_KEYS,
     "training": _TRAINING_KEYS,
     "engine": _ENGINE_KEYS,
+    "sampling": _SAMPLING_KEYS,
     "run": _RUN_KEYS,
 }
 
@@ -136,6 +144,8 @@ def _coerce(section: str, key: str, value: Any) -> Any:
     if key in _TUPLE_KEYS and isinstance(value, (list, tuple)):
         return tuple(int(v) for v in value)
     if section == "engine" and key in _AUTO_KEYS and value == 0:
+        return None
+    if section == "sampling" and key == "steps" and value == 0:
         return None
     return value
 
@@ -316,6 +326,21 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: solver_mode must be one of "
                     f"{SOLVER_MODES}, got {config.solver_mode!r}"
                 )
+            sampling = self.sections.get("sampling", {})
+            if "steps" in sampling:
+                value = sampling["steps"]
+                config.sampling_steps = None if value is None else int(value)
+            # Like the engine fields this bypasses __post_init__, and the
+            # chain length may itself have been overridden above — re-check
+            # the range here where the error names the scenario.
+            if config.sampling_steps is not None and not (
+                1 <= config.sampling_steps <= config.diffusion.num_steps
+            ):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: sampling.steps must lie in "
+                    f"[1, {config.diffusion.num_steps}] (the trained chain "
+                    f"length), got {config.sampling_steps}"
+                )
             training = self.sections.get("training", {})
             if "iterations" in training:
                 config.train_iterations = int(training["iterations"])
@@ -380,6 +405,13 @@ class RunPlan:
             f"  engine           sample_batch={cfg.sample_batch_size}, "
             f"workers={cfg.workers}, stream_chunk={cfg.stream_chunk_size}, "
             f"solver={cfg.solver_mode}, dedup={'on' if self.dedup else 'off'}",
+            f"  sampling         "
+            + (
+                f"{cfg.sampling_steps} of {cfg.diffusion.num_steps} steps (respaced)"
+                if cfg.sampling_steps is not None
+                and cfg.sampling_steps != cfg.diffusion.num_steps
+                else f"full chain ({cfg.diffusion.num_steps} steps)"
+            ),
         ]
         if self.description:
             lines.insert(1, f"  description      {self.description}")

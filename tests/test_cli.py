@@ -84,9 +84,20 @@ class TestListScenarios:
     def test_lists_builtins(self, capsys):
         assert main(["list-scenarios"]) == 0
         out = capsys.readouterr().out
-        for name in ("smoke", "paper-tables", "dense", "sparse",
-                     "rule-migration", "hotspot-expansion"):
+        for name in ("smoke", "paper-tables", "fewstep-tables", "dense",
+                     "sparse", "rule-migration", "hotspot-expansion"):
             assert name in out
+
+    def test_shows_sampler_for_fewstep_builtins(self, capsys):
+        # Scenarios that stride the sampler say so; full-chain ones stay
+        # silent (the engine line already covers their knobs).
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sampler=6/32 steps") == 2   # fewstep-tables, hotspot-expansion
+        lines = out.splitlines()
+        smoke_detail = lines[next(i for i, ln in enumerate(lines)
+                                  if ln.startswith("smoke")) + 1]
+        assert "sampler=" not in smoke_detail
 
     def test_scenario_file_shows_up(self, tmp_path, capsys):
         path = tmp_path / "extra.toml"
@@ -111,4 +122,24 @@ class TestBench:
         assert metrics["scenario"] == "smoke"
         assert metrics["num_generated"] == 6
         assert metrics["sampling_samples_per_second"] > 0
+        assert metrics["sampling_steps"] == metrics["sampling_chain_steps"] == 8
+        assert metrics["sampling_model_evals"] >= 8
         assert "sampling stage:" in capsys.readouterr().out
+
+    def test_steps_flag_strides_the_sampler(self, tmp_path, smoke_args, capsys):
+        metrics_path = tmp_path / "strided.json"
+        code = main(
+            ["bench", "--scenario", "smoke", "--steps", "3",
+             "--metrics", str(metrics_path), *smoke_args]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["sampling_steps"] == 3
+        assert metrics["sampling_chain_steps"] == 8
+        out = capsys.readouterr().out
+        assert "3 of 8 steps (respaced)" in out
+
+    def test_invalid_steps_is_a_clean_error(self, smoke_args, capsys):
+        code = main(["generate", "--scenario", "smoke", "--steps", "99", *smoke_args])
+        assert code == 1
+        assert "sampling.steps" in capsys.readouterr().err

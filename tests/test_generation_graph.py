@@ -44,6 +44,9 @@ class DatasetSamplingEngine:
     prefilter keeps (most of) the output.
     """
 
+    #: Part of the engine contract fingerprinted by the graph (full chain).
+    steps = None
+
     def __init__(self, tensors: np.ndarray) -> None:
         self.tensors = np.asarray(tensors)
 

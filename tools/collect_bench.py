@@ -1,0 +1,91 @@
+"""Snapshot benchmark metrics into a committed ``BENCH_<label>.json``.
+
+Each PR that touches performance commits one snapshot of the machine-readable
+benchmark metrics it was validated against, so the repository carries a
+throughput paper trail next to the code (``BENCH_PR6.json`` was the first).
+This helper makes every snapshot the same shape: it collects the
+``benchmarks/results/metrics_*.json`` files a harness run produced and folds
+them into one document keyed by benchmark name.
+
+Usage::
+
+    REPRO_BENCH_FAST=1 python -m pytest benchmarks/ -q --benchmark-disable
+    python tools/collect_bench.py PR7                 # writes BENCH_PR7.json
+    python tools/collect_bench.py PR7 --only fewstep_sampling table2
+
+The snapshot records no timestamps or host details on purpose: fast-mode
+metrics are deterministic per seed, so re-running the harnesses must
+reproduce the committed file bit-for-bit (timing-valued metrics are the
+exception and are expected to drift — the regression gate, not the snapshot,
+bounds those).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def collect(results_dir: Path, only: "list[str] | None" = None) -> dict:
+    """All ``metrics_<name>.json`` documents keyed by ``<name>``.
+
+    ``only`` restricts the snapshot to the named benchmarks; naming one with
+    no metrics file is an error (a silent miss would commit a hole).
+    """
+    metrics: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("metrics_*.json")):
+        name = path.stem.removeprefix("metrics_")
+        if only and name not in only:
+            continue
+        metrics[name] = json.loads(path.read_text())
+    if only:
+        missing = sorted(set(only) - set(metrics))
+        if missing:
+            raise FileNotFoundError(
+                f"no metrics for {', '.join(missing)} under {results_dir}; "
+                "run the corresponding benchmark harness first"
+            )
+    if not metrics:
+        raise FileNotFoundError(
+            f"no metrics_*.json under {results_dir}; run the benchmark "
+            "harnesses first (see README.md)"
+        )
+    return metrics
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "label",
+        help="snapshot label, e.g. PR7 -> BENCH_PR7.json at the repo root",
+    )
+    parser.add_argument("--results", type=Path, default=RESULTS_DIR)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: BENCH_<label>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--only", nargs="+", default=None, metavar="NAME",
+        help="restrict the snapshot to these benchmark names",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        metrics = collect(args.results, args.only)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    snapshot = {"label": args.label, "benchmarks": metrics}
+    out = args.out if args.out is not None else REPO_ROOT / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"{out}: {len(metrics)} benchmark(s) snapshotted: {', '.join(sorted(metrics))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
