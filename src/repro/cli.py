@@ -13,6 +13,10 @@ Subcommands:
   unique topologies, diversity H, legality, per-chunk accounting).
 * ``bench``           — run a scenario and report per-stage throughput
   (sampling, legalization, graph), optionally as machine-readable JSON.
+* ``serve``           — run the long-lived generation daemon: concurrent
+  requests are coalesced into shared sampling/legalization batches, results
+  stream back per chunk, repeat windows are answered from the pattern cache
+  (see ``docs/serving.md``).
 
 Every subcommand accepts ``--scenario-file`` (repeatable, TOML or JSON) to
 register user scenarios next to the built-ins; ``generate``/``resume``/
@@ -154,6 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", type=Path, default=None, metavar="FILE",
         help="also write machine-readable metrics JSON",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived generation daemon (cross-request batching, "
+        "streamed results, /healthz + /metrics; see docs/serving.md)",
+    )
+    _add_scenario_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8181, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=8, metavar="N",
+        help="backpressure bound: in-flight requests before submits get 429",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="largest coalesced sampling/legalization batch (memory knob)",
+    )
     return parser
 
 
@@ -257,6 +280,8 @@ def _plan_for(args: argparse.Namespace) -> RunPlan:
 # subcommands
 # --------------------------------------------------------------------------- #
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    from .serve.server import servable_note
+
     registry = _registry_for(args)
     for name in registry.names():
         spec = registry.resolve(name)
@@ -275,6 +300,7 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
             f"area<={plan.config.rules.area_max})  "
             f"train={plan.config.train_iterations} it{sampler}"
         )
+        print(f"{'':<20} {servable_note(spec)}")
         if args.verbose:
             print(json.dumps(spec.as_dict(), indent=2, sort_keys=True))
     return 0
@@ -415,6 +441,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the generation daemon until interrupted (see docs/serving.md)."""
+    import asyncio
+
+    from .serve import GenerationService, ServeServer
+    from .serve.server import _serve_until_interrupted
+
+    registry = _registry_for(args)
+    service = GenerationService(
+        registry=registry, max_pending=args.max_pending, max_batch=args.max_batch
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+    try:
+        asyncio.run(_serve_until_interrupted(server))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code.
@@ -432,6 +477,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "resume": lambda a: _cmd_generate(a, resume=True),
         "inspect-library": _cmd_inspect_library,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

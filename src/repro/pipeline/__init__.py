@@ -26,7 +26,7 @@ from .efficiency import (
     run_efficiency_experiment,
 )
 from .sampling_engine import SamplingEngine, SamplingReport, resolve_seed
-from .stages import GenerationGraph, GenerationGraphReport
+from .stages import GenerationGraph, GenerationGraphReport, GenerationStream, StreamChunk
 from .figures import (
     ComplexityComparison,
     DenoisingChain,
@@ -65,6 +65,8 @@ __all__ = [
     "SamplingReport",
     "GenerationGraph",
     "GenerationGraphReport",
+    "GenerationStream",
+    "StreamChunk",
     "resolve_seed",
     "DenoisingChain",
     "run_denoising_chain",

@@ -46,7 +46,7 @@ from ..utils import resolve_seed
 from .diffpattern import GenerationResult
 from .sampling_engine import SamplingEngine, SamplingReport
 
-__all__ = ["GenerationGraph", "GenerationGraphReport"]
+__all__ = ["GenerationGraph", "GenerationGraphReport", "GenerationStream", "StreamChunk"]
 
 
 def _references_digest(references: "list[tuple[np.ndarray, np.ndarray]]") -> str:
@@ -142,6 +142,209 @@ class _Accumulators:
         return np.concatenate(self.topology_chunks, axis=0)
 
 
+@dataclass
+class StreamChunk:
+    """Everything one completed graph chunk produced, with per-sample attribution.
+
+    Produced by :meth:`GenerationStream.advance`.  Beyond the aggregate
+    accounting the batch path needs, every pattern carries the absolute
+    sample index it descends from (:attr:`pattern_sources`), so a consumer
+    sharing one stream between several clients — the ``repro serve``
+    cross-request batcher — can route each pattern to the request window
+    that owns its sample.
+    """
+
+    #: Sequential chunk index within the stream.
+    chunk: int
+    #: Absolute sample index of the chunk's first sample.
+    start: int
+    #: Number of samples pulled for this chunk.
+    size: int
+    #: Raw unfolded topology matrices, shape ``(size, H, W)``.
+    matrices: np.ndarray = field(repr=False)
+    #: Absolute sample indices that survived the prefilter, in order.
+    kept_indices: list[int]
+    #: The surviving topology matrices (aligned with :attr:`kept_indices`).
+    kept: list[np.ndarray] = field(repr=False)
+    num_rejected: int
+    #: One ``LegalizedTopology`` per kept topology (aligned with
+    #: :attr:`kept_indices`); unsolved entries carry no patterns.
+    results: list = field(repr=False)
+    #: Every legal pattern the chunk produced, before any dedup planning.
+    chunk_patterns: list[SquishPattern] = field(repr=False)
+    #: The patterns the caller keeps (identical to :attr:`chunk_patterns`
+    #: unless a deduplicating library planned some away).
+    patterns: list[SquishPattern] = field(repr=False)
+    #: Absolute source sample index per entry of :attr:`patterns`.
+    pattern_sources: list[int]
+    #: DRC verdict per entry of :attr:`patterns`.
+    clean_mask: np.ndarray = field(repr=False)
+    num_clean: int
+    topology_histogram: ComplexityHistogram = field(repr=False)
+    pattern_histogram: ComplexityHistogram = field(repr=False)
+    #: Chunk-local engine reports (the graph merges them into its aggregate).
+    sampling_report: SamplingReport = field(repr=False)
+    legalization_report: LegalizationReport = field(repr=False)
+    prefilter_seconds: float = 0.0
+    drc_seconds: float = 0.0
+
+    @property
+    def end(self) -> int:
+        """One past the last absolute sample index of the chunk."""
+        return self.start + self.size
+
+    @property
+    def unsolved(self) -> int:
+        """Kept topologies for which no legal geometry was found."""
+        return sum(1 for result in self.results if not result.solved)
+
+
+class GenerationStream:
+    """Incremental pull handle over a :class:`GenerationGraph`.
+
+    Where :meth:`GenerationGraph.run` walks a fixed number of samples to
+    completion, a stream advances the same stage pipeline chunk by chunk on
+    demand — :meth:`advance` pulls the next ``size`` samples through
+    sample → prefilter → legalize → DRC and returns the fully-attributed
+    :class:`StreamChunk`.  The ``repro serve`` daemon drives one stream per
+    scenario identity, growing it with whatever batch the coalesced demand
+    of the moment calls for.
+
+    The determinism contract is untouched: samples are owned by their
+    absolute index (``SeedSequence(sample_seed, index)``), the legalization
+    offset is the number of previously *kept* topologies, and chunk
+    boundaries never change a value — any sequence of ``advance`` sizes
+    covering ``[0, N)`` yields results element-wise identical to one
+    monolithic ``run(N)`` under the same seeds.
+
+    Obtain instances through :meth:`GenerationGraph.open_stream`; the two
+    base seeds are resolved there exactly as ``run`` resolves them.
+    """
+
+    def __init__(self, graph: "GenerationGraph", sample_seed: int, legal_seed: int) -> None:
+        self.graph = graph
+        self.sample_seed = int(sample_seed)
+        self.legal_seed = int(legal_seed)
+        #: Absolute sample index the next chunk starts at.
+        self.next_start = 0
+        #: Sequential index assigned to the next chunk.
+        self.next_chunk = 0
+        #: Topologies kept by the prefilter so far — the ``first_index``
+        #: stream offset handed to the legalization engine.
+        self.num_kept = 0
+
+    def advance(self, size: int) -> StreamChunk:
+        """Pull the next ``size`` samples through every stage.
+
+        Returns
+        -------
+        StreamChunk
+            The completed chunk, with per-pattern source attribution.
+
+        Raises
+        ------
+        ValueError
+            If ``size`` < 1.
+        """
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        graph = self.graph
+        start = self.next_start
+        tensors, sampling_report = graph.sampling_engine.sample_with_report(
+            size, seed=self.sample_seed, first_index=start
+        )
+        matrices = np.stack([unfold(t) for t in tensors], axis=0)
+
+        tic = time.perf_counter()
+        kept: list[np.ndarray] = []
+        kept_indices: list[int] = []
+        num_rejected = 0
+        for offset, matrix in enumerate(matrices):
+            if graph.prefilter.reject_reason(matrix) is None:
+                kept.append(np.asarray(matrix, dtype=np.uint8))
+                kept_indices.append(start + offset)
+            else:
+                num_rejected += 1
+        prefilter_seconds = time.perf_counter() - tic
+
+        # The stream offset is the number of topologies that survived the
+        # prefilter in *earlier* chunks: kept topology k owns the stream
+        # (legal_seed, k) exactly as in the monolithic batch call.
+        results, legalization_report = graph.legalization_engine.legalize_batch_with_report(
+            kept,
+            num_solutions=graph.num_solutions,
+            seed=self.legal_seed,
+            first_index=self.num_kept,
+        )
+
+        chunk_patterns: list[SquishPattern] = []
+        sources: list[int] = []
+        for index, result in zip(kept_indices, results):
+            chunk_patterns.extend(result.patterns)
+            sources.extend([index] * len(result.patterns))
+        # With a deduplicating library, the chunk (and every metric on it)
+        # describes exactly the patterns that are kept — otherwise legality
+        # and diversity would be computed over patterns the caller never
+        # sees.  Without dedup (the default) every produced pattern is kept,
+        # which is what the batch-parity contract requires.
+        if graph.library is not None and graph.library.dedup:
+            keep = graph.library.plan_chunk(chunk_patterns)
+            patterns = [p for p, flag in zip(chunk_patterns, keep) if flag]
+            pattern_sources = [s for s, flag in zip(sources, keep) if flag]
+        else:
+            patterns = chunk_patterns
+            pattern_sources = sources
+
+        tic = time.perf_counter()
+        clean_mask = (
+            np.asarray(graph.checker.legality_mask(patterns), dtype=bool)
+            if patterns
+            else np.zeros(0, dtype=bool)
+        )
+        drc_seconds = time.perf_counter() - tic
+
+        chunk = StreamChunk(
+            chunk=self.next_chunk,
+            start=start,
+            size=size,
+            matrices=matrices,
+            kept_indices=kept_indices,
+            kept=kept,
+            num_rejected=num_rejected,
+            results=results,
+            chunk_patterns=chunk_patterns,
+            patterns=patterns,
+            pattern_sources=pattern_sources,
+            clean_mask=clean_mask,
+            num_clean=int(clean_mask.sum()),
+            topology_histogram=ComplexityHistogram(
+                [topology_complexity(m) for m in matrices]
+            ),
+            pattern_histogram=ComplexityHistogram(
+                [pattern_complexity(p) for p in patterns]
+            ),
+            sampling_report=sampling_report,
+            legalization_report=legalization_report,
+            prefilter_seconds=prefilter_seconds,
+            drc_seconds=drc_seconds,
+        )
+        self.next_start += size
+        self.next_chunk += 1
+        self.num_kept += len(kept)
+        return chunk
+
+    def skip_record(self, record: ChunkRecord) -> None:
+        """Advance the stream counters over one resumed (already-stored) chunk.
+
+        The chunk's samples are never re-generated; only the index frontier,
+        chunk counter and legalization offset move, so the chunks that follow
+        stay bit-identical to the uninterrupted run.
+        """
+        self.next_start += record.num_sampled
+        self.next_chunk += 1
+        self.num_kept += record.num_kept
+
+
 class GenerationGraph:
     """Chunked streaming orchestration of the three DiffPattern phases.
 
@@ -163,6 +366,13 @@ class GenerationGraph:
         chunk is persisted (shard + manifest record); with ``resume=True``
         chunks already in the manifest are folded from disk instead of
         re-generated.
+    on_chunk:
+        Optional callback invoked with each live :class:`StreamChunk` right
+        after it has been folded into the run (and, when a library is
+        attached, after the chunk's shard has been committed).  Resumed
+        chunks do not fire it — their samples were never re-generated.  This
+        is the hook the serving layer uses to stream per-chunk results to
+        waiting requests.
     """
 
     def __init__(
@@ -175,6 +385,7 @@ class GenerationGraph:
         num_solutions: int = 1,
         retain_topologies: bool = True,
         library: "PatternLibrary | None" = None,
+        on_chunk: "callable | None" = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -188,7 +399,21 @@ class GenerationGraph:
         self.num_solutions = int(num_solutions)
         self.retain_topologies = bool(retain_topologies)
         self.library = library
+        self.on_chunk = on_chunk
         self.last_report: "GenerationGraphReport | None" = None
+
+    # ------------------------------------------------------------------ #
+    def open_stream(self, seed: "int | np.random.Generator | None" = 0) -> GenerationStream:
+        """Open an incremental :class:`GenerationStream` over this graph.
+
+        Resolves the two base seeds exactly as :meth:`run` does — one draw
+        for the sampling stage, then a second for legalization — so a stream
+        advanced over ``[0, N)`` in any chunking matches ``run(N, seed)``
+        element for element.
+        """
+        sample_seed = resolve_seed(seed)
+        legal_seed = resolve_seed(seed)
+        return GenerationStream(self, sample_seed, legal_seed)
 
     # ------------------------------------------------------------------ #
     def fingerprint(self, num_samples: int, sample_seed: int, legal_seed: int) -> dict:
@@ -274,6 +499,7 @@ class GenerationGraph:
 
         acc = _Accumulators(self.retain_topologies)
         resumed_stats = LegalizationStats()
+        stream = GenerationStream(self, sample_seed, legal_seed)
         start_total = time.perf_counter()
         # One process pool for the whole run (no-op at workers=1): without it
         # a streamed run would pay pool startup — and re-ship the reference
@@ -285,10 +511,14 @@ class GenerationGraph:
                 size = min(self.chunk_size, num_samples - start)
                 if chunk_index in resumed:
                     self._fold_record(resumed[chunk_index], acc, resumed_stats)
+                    stream.skip_record(resumed[chunk_index])
                     report.chunks_resumed += 1
                     continue
-                self._run_chunk(chunk_index, start, size, sample_seed, legal_seed, acc, report)
+                chunk = stream.advance(size)
+                self._fold_chunk(chunk, acc, report)
                 report.chunks_live += 1
+                if self.on_chunk is not None:
+                    self.on_chunk(chunk)
         report.total_seconds = time.perf_counter() - start_total
 
         if report.chunks_resumed:
@@ -332,102 +562,62 @@ class GenerationGraph:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _run_chunk(
+    def _fold_chunk(
         self,
-        chunk_index: int,
-        start: int,
-        size: int,
-        sample_seed: int,
-        legal_seed: int,
+        chunk: StreamChunk,
         acc: _Accumulators,
         report: GenerationGraphReport,
     ) -> None:
-        """Pull one chunk through every stage and fold it into ``acc``."""
-        tensors, sampling_report = self.sampling_engine.sample_with_report(
-            size, seed=sample_seed, first_index=start
-        )
+        """Fold one live :class:`StreamChunk` into ``acc`` and ``report``."""
         if report.sampling_report is None:
-            report.sampling_report = sampling_report
+            report.sampling_report = chunk.sampling_report
         else:
-            report.sampling_report.merge(sampling_report)
-        matrices = np.stack([unfold(t) for t in tensors], axis=0)
-
-        tic = time.perf_counter()
-        filtered = self.prefilter.filter(list(matrices))
-        report.prefilter_seconds += time.perf_counter() - tic
-
-        # The stream offset is the number of topologies that survived the
-        # prefilter in *earlier* chunks: kept topology k owns the stream
-        # (legal_seed, k) exactly as in the monolithic batch call.
-        results, legalization_report = self.legalization_engine.legalize_batch_with_report(
-            filtered.kept,
-            num_solutions=self.num_solutions,
-            seed=legal_seed,
-            first_index=acc.num_kept,
-        )
+            report.sampling_report.merge(chunk.sampling_report)
         if report.legalization_report is None:
-            report.legalization_report = legalization_report
+            report.legalization_report = chunk.legalization_report
         else:
-            report.legalization_report.merge(legalization_report)
+            report.legalization_report.merge(chunk.legalization_report)
+        report.prefilter_seconds += chunk.prefilter_seconds
+        report.drc_seconds += chunk.drc_seconds
 
-        chunk_patterns = [p for r in results for p in r.patterns]
-        # With a deduplicating library, the result (and every metric on it)
-        # describes exactly the patterns that are kept — otherwise legality
-        # and diversity would be computed over patterns the caller never
-        # sees.  Without dedup (the default) every produced pattern is kept,
-        # which is what the batch-parity contract requires.
-        if self.library is not None and self.library.dedup:
-            keep = self.library.plan_chunk(chunk_patterns)
-            kept_patterns = [p for p, flag in zip(chunk_patterns, keep) if flag]
-        else:
-            kept_patterns = chunk_patterns
-
-        tic = time.perf_counter()
-        num_clean = (
-            int(self.checker.legality_mask(kept_patterns).sum()) if kept_patterns else 0
-        )
-        report.drc_seconds += time.perf_counter() - tic
-
-        topology_hist = ComplexityHistogram([topology_complexity(m) for m in matrices])
-        pattern_hist = ComplexityHistogram([pattern_complexity(p) for p in kept_patterns])
-        acc.num_sampled += size
-        acc.num_kept += len(filtered.kept)
-        acc.num_rejected += len(filtered.rejected)
-        acc.unsolved += sum(1 for r in results if not r.solved)
-        acc.num_patterns += len(kept_patterns)
-        acc.num_clean += num_clean
-        acc.topology_histogram.merge(topology_hist)
-        acc.pattern_histogram.merge(pattern_hist)
+        acc.num_sampled += chunk.size
+        acc.num_kept += len(chunk.kept)
+        acc.num_rejected += chunk.num_rejected
+        acc.unsolved += chunk.unsolved
+        acc.num_patterns += len(chunk.patterns)
+        acc.num_clean += chunk.num_clean
+        acc.topology_histogram.merge(chunk.topology_histogram)
+        acc.pattern_histogram.merge(chunk.pattern_histogram)
         if acc.retain_topologies:
-            acc.topology_chunks.append(matrices)
-            acc.kept_topologies.extend(filtered.kept)
+            acc.topology_chunks.append(chunk.matrices)
+            acc.kept_topologies.extend(chunk.kept)
 
-        stored = kept_patterns
+        stored = chunk.patterns
         if self.library is not None:
             record = ChunkRecord(
-                chunk=chunk_index,
-                start=start,
-                num_sampled=size,
-                num_kept=len(filtered.kept),
-                num_rejected=len(filtered.rejected),
-                unsolved=sum(1 for r in results if not r.solved),
-                num_patterns=len(chunk_patterns),
+                chunk=chunk.chunk,
+                start=chunk.start,
+                num_sampled=chunk.size,
+                num_kept=len(chunk.kept),
+                num_rejected=chunk.num_rejected,
+                unsolved=chunk.unsolved,
+                num_patterns=len(chunk.chunk_patterns),
                 num_stored=0,
                 duplicates_skipped=0,
-                num_clean=num_clean,
+                num_clean=chunk.num_clean,
                 shard=None,
-                topology_complexity_counts=topology_hist.as_records(),
-                pattern_complexity_counts=pattern_hist.as_records(),
+                topology_complexity_counts=chunk.topology_histogram.as_records(),
+                pattern_complexity_counts=chunk.pattern_histogram.as_records(),
                 stats={
-                    "attempted": legalization_report.stats.attempted,
-                    "solved": legalization_report.stats.solved,
-                    "failed": legalization_report.stats.failed,
-                    "solutions": legalization_report.stats.solutions,
-                    "total_iterations": legalization_report.stats.total_iterations,
-                    "total_solver_time": legalization_report.stats.total_solver_time,
+                    "attempted": chunk.legalization_report.stats.attempted,
+                    "solved": chunk.legalization_report.stats.solved,
+                    "failed": chunk.legalization_report.stats.failed,
+                    "solutions": chunk.legalization_report.stats.solutions,
+                    "total_iterations": chunk.legalization_report.stats.total_iterations,
+                    "total_solver_time": chunk.legalization_report.stats.total_solver_time,
                 },
             )
-            stored = self.library.append_chunk(record, chunk_patterns)
+            stored = self.library.append_chunk(record, chunk.chunk_patterns)
         acc.patterns.extend(stored)
 
     def _fold_record(

@@ -1,0 +1,232 @@
+"""Cross-request batching state for one scenario stream.
+
+The service groups requests by *stream identity* — scenario config +
+training size + solutions + seed, digested by :func:`stream_key` — and
+gives each group one :class:`StreamBatcher`.  The batcher owns:
+
+* the **deterministic warmup** (data → train, consuming the run generator
+  exactly like ``repro generate`` does, so the stream's two base seeds come
+  out identical to the one-shot CLI run);
+* the single :class:`~repro.pipeline.GenerationStream` all requests share —
+  every ``advance`` is one coalesced sampling/legalization batch covering
+  whichever request windows are waiting;
+* the **window ledger**: a reservation frontier handing each tail request
+  the next unclaimed ``[start, start + count)`` window, and the ``done``
+  frontier of samples already generated;
+* the **pattern cache**: per-chunk hash records (via
+  :func:`repro.library.pattern_hash` — the same dedup identity the
+  :class:`~repro.library.PatternLibrary` uses) plus one shared pattern
+  store, so a repeat window is answered without touching the engines.
+
+Thread model: the service's event loop calls :meth:`reserve` /
+:meth:`cover` / :meth:`covered_through`; :meth:`ensure_ready` and
+:meth:`advance` run on an executor thread.  The internal lock keeps the
+ledger and cache coherent between the two.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+from ..library import pattern_hash
+from ..pipeline import DiffPatternPipeline
+from ..utils import as_rng
+
+__all__ = ["CachedChunk", "StreamBatcher", "stream_key"]
+
+
+def stream_key(plan) -> str:
+    """Digest of everything that shapes a scenario's sample stream.
+
+    Two requests share a batcher (and therefore batches and cache) iff
+    their lowered plans agree on the pipeline config, the training run and
+    the per-run seeds/solutions.  Window-shaping knobs (``num_generated``,
+    ``stream``, ``dedup``, ``retain_topologies``) are deliberately *not*
+    part of the key: they change how much is asked for, not what sample
+    ``i`` contains.
+    """
+    digest = hashlib.sha1()
+    digest.update(repr(plan.config).encode())
+    digest.update(str(plan.num_training_patterns).encode())
+    digest.update(str(plan.num_solutions).encode())
+    digest.update(str(plan.seed).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CachedChunk:
+    """Cache record of one generated chunk (hashes, not patterns).
+
+    Patterns themselves live once in the batcher's shared store keyed by
+    :func:`repro.library.pattern_hash`; the chunk keeps the hash sequence so
+    a window replay reconstructs the exact pattern order.
+    """
+
+    #: Absolute sample window ``[start, end)`` the chunk covered.
+    start: int
+    end: int
+    #: Pattern hash per produced pattern, in stream order.
+    hashes: list = field(default_factory=list)
+    #: Absolute source sample index per pattern.
+    sources: list = field(default_factory=list)
+    #: DRC verdict per pattern.
+    clean: list = field(default_factory=list)
+
+
+def _default_pipeline_factory(plan):
+    """Train a pipeline exactly like ``repro generate`` warms one up.
+
+    One generator seeded from the plan drives data synthesis and training
+    in sequence and is returned still positioned for generation — the same
+    draws ``repro.cli._execute_plan`` makes, which is what makes served
+    windows bit-identical to the one-shot CLI run.
+    """
+    pipeline = DiffPatternPipeline(plan.config)
+    gen = as_rng(plan.seed)
+    pipeline.prepare_data(plan.num_training_patterns, rng=gen)
+    pipeline.train(rng=gen)
+    return pipeline, gen
+
+
+class StreamBatcher:
+    """Shared generation stream + window ledger + pattern cache.
+
+    Parameters
+    ----------
+    plan:
+        The lowered :class:`~repro.scenarios.RunPlan` defining the stream.
+    pipeline_factory:
+        ``plan -> (trained pipeline, generator)`` hook.  The default trains
+        from scratch on first use; tests and benchmarks inject a pre-trained
+        pipeline with a generator restored to its post-training state so a
+        suite pays for training once.
+    max_batch:
+        Upper bound on samples per coalesced :meth:`advance` call (a memory
+        knob, like the graph's ``chunk_size`` — output is identical for any
+        value).
+    """
+
+    def __init__(self, plan, pipeline_factory=None, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.plan = plan
+        self.key = stream_key(plan)
+        self.max_batch = int(max_batch)
+        self._pipeline_factory = pipeline_factory or _default_pipeline_factory
+        self._lock = threading.Lock()
+        self._stream = None
+        #: Next unclaimed sample index (grows at reservation time).
+        self.reserved = 0
+        #: Samples generated so far (grows as chunks complete).
+        self.done = 0
+        self._chunks: "list[CachedChunk]" = []
+        self._patterns: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # warmup
+    # ------------------------------------------------------------------ #
+    @property
+    def ready(self) -> bool:
+        """True once the pipeline is trained and the stream is open."""
+        return self._stream is not None
+
+    def ensure_ready(self) -> None:
+        """Train (if needed) and open the shared stream.  Idempotent.
+
+        Runs on the service's executor thread — warmup for a paper-scale
+        scenario is minutes of training, and must not block the event loop.
+        """
+        if self._stream is not None:
+            return
+        pipeline, gen = self._pipeline_factory(self.plan)
+        graph = pipeline.generation_graph(
+            num_solutions=self.plan.num_solutions,
+            retain_topologies=False,
+        )
+        # Resolves the same two base seeds the one-shot run draws from the
+        # post-training generator: bit-identity with `repro generate`.
+        self._stream = graph.open_stream(gen)
+
+    # ------------------------------------------------------------------ #
+    # window ledger
+    # ------------------------------------------------------------------ #
+    def reserve(self, count: int, start: "int | None" = None) -> "tuple[int, int]":
+        """Claim a sample window and return it as ``(start, end)``.
+
+        With ``start=None`` the window is the next unclaimed tail slice —
+        reservation order is submission order, which is what pins the
+        request→sample mapping regardless of how generation later
+        interleaves.  An explicit ``start`` may re-read old samples and may
+        extend the frontier past the current tail.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        with self._lock:
+            if start is None:
+                start = self.reserved
+            end = start + count
+            if end > self.reserved:
+                self.reserved = end
+            return start, end
+
+    def covered_through(self) -> int:
+        """The ``done`` frontier: every sample below it is in the cache."""
+        with self._lock:
+            return self.done
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def advance(self, size: int):
+        """Generate the next ``size`` samples and fold them into the cache.
+
+        Runs on the executor thread; returns the
+        :class:`~repro.pipeline.StreamChunk` so the service can route the
+        slice to every waiting request.
+        """
+        if self._stream is None:
+            raise RuntimeError("StreamBatcher.advance before ensure_ready")
+        chunk = self._stream.advance(size)
+        record = CachedChunk(start=chunk.start, end=chunk.end)
+        with self._lock:
+            for pattern, source, clean in zip(
+                chunk.patterns, chunk.pattern_sources, chunk.clean_mask
+            ):
+                digest = pattern_hash(pattern)
+                self._patterns.setdefault(digest, pattern)
+                record.hashes.append(digest)
+                record.sources.append(int(source))
+                record.clean.append(bool(clean))
+            self._chunks.append(record)
+            self.done = chunk.end
+        return chunk
+
+    # ------------------------------------------------------------------ #
+    # cache reads
+    # ------------------------------------------------------------------ #
+    def cover(self, start: int, end: int) -> "list[tuple[CachedChunk, list, list, list]]":
+        """Cached slices intersecting ``[start, end)``, in stream order.
+
+        Each element is ``(record, patterns, sources, clean)`` restricted to
+        the window — ready to become one cached
+        :class:`~repro.serve.protocol.ChunkPayload`.  Only the part of the
+        window below the ``done`` frontier is returned; the caller generates
+        the rest.
+        """
+        slices = []
+        with self._lock:
+            for record in self._chunks:
+                if record.end <= start or record.start >= end:
+                    continue
+                patterns, sources, clean = [], [], []
+                for digest, source, flag in zip(
+                    record.hashes, record.sources, record.clean
+                ):
+                    if start <= source < end:
+                        patterns.append(self._patterns[digest])
+                        sources.append(source)
+                        clean.append(flag)
+                slices.append((record, patterns, sources, clean))
+        return slices

@@ -1,0 +1,168 @@
+"""Asyncio client for the ``repro serve`` HTTP daemon.
+
+:class:`ServeClient` speaks the transport :mod:`repro.serve.server`
+exposes — stdlib only, one connection per call:
+
+* :meth:`ServeClient.stream` POSTs a
+  :class:`~repro.serve.protocol.GenerateRequest` and yields decoded
+  :class:`~repro.serve.protocol.ChunkPayload` events as the daemon streams
+  them, finishing with the :class:`~repro.serve.protocol.RequestSummary`;
+* :meth:`ServeClient.generate` collects a whole request into one
+  :class:`~repro.serve.ServedWindow` (patterns bit-identical to the
+  server-side ones — the JSON pattern codec is lossless);
+* :meth:`ServeClient.healthz` / :meth:`ServeClient.metrics` /
+  :meth:`ServeClient.scenarios` wrap the JSON GET endpoints.
+
+Non-2xx responses raise :class:`ServeHTTPError` carrying the status code,
+so a caller can distinguish backpressure (429) from a bad request (400).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .protocol import ChunkPayload, GenerateRequest, ProtocolError, RequestSummary
+from .service import ServedWindow
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(RuntimeError):
+    """A non-2xx response; :attr:`status` holds the HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+
+
+class ServeClient:
+    """Thin per-request HTTP client (no pooling, no external deps)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8181) -> None:
+        self.host = host
+        self.port = int(port)
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    async def _open(self, method: str, path: str, body: "bytes | None" = None):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        payload = body if body is not None else b""
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            writer.close()
+            raise ProtocolError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: "dict[str, str]" = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, reader, writer
+
+    @staticmethod
+    async def _read_body(headers: dict, reader: asyncio.StreamReader) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            async for piece in ServeClient._iter_chunks(reader):
+                chunks.append(piece)
+            return b"".join(chunks)
+        length = int(headers.get("content-length", "0"))
+        return await reader.readexactly(length) if length else b""
+
+    @staticmethod
+    async def _iter_chunks(reader: asyncio.StreamReader):
+        while True:
+            size_line = (await reader.readline()).decode("latin-1").strip()
+            size = int(size_line.split(";", 1)[0], 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF after the last chunk
+                return
+            data = await reader.readexactly(size)
+            await reader.readexactly(2)  # chunk-terminating CRLF
+            yield data
+
+    async def _raise_for_status(self, status: int, headers: dict, reader, writer) -> None:
+        body = await self._read_body(headers, reader)
+        writer.close()
+        try:
+            message = json.loads(body.decode("utf-8")).get("error", body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            message = repr(body)
+        raise ServeHTTPError(status, message)
+
+    # ------------------------------------------------------------------ #
+    # JSON endpoints
+    # ------------------------------------------------------------------ #
+    async def get_json(self, path: str) -> dict:
+        """GET ``path`` and decode the JSON body (raises on non-200)."""
+        status, headers, reader, writer = await self._open("GET", path)
+        if status != 200:
+            await self._raise_for_status(status, headers, reader, writer)
+        body = await self._read_body(headers, reader)
+        writer.close()
+        return json.loads(body.decode("utf-8"))
+
+    async def healthz(self) -> dict:
+        return await self.get_json("/healthz")
+
+    async def metrics(self) -> dict:
+        return await self.get_json("/metrics")
+
+    async def scenarios(self) -> dict:
+        return await self.get_json("/scenarios")
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    async def stream(self, request: GenerateRequest):
+        """Yield each event of one request as the daemon streams it.
+
+        Yields :class:`ChunkPayload` objects; the terminating
+        :class:`RequestSummary` is yielded last (callers can type-check, or
+        use :meth:`generate` for the collected form).
+        """
+        body = json.dumps(request.as_dict()).encode("utf-8")
+        status, headers, reader, writer = await self._open("POST", "/generate", body)
+        if status != 200:
+            await self._raise_for_status(status, headers, reader, writer)
+        buffer = b""
+        try:
+            async for piece in self._iter_chunks(reader):
+                buffer += piece
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    document = json.loads(line.decode("utf-8"))
+                    if document.get("kind") == "summary":
+                        yield RequestSummary.from_dict(document)
+                    else:
+                        yield ChunkPayload.from_dict(document)
+        finally:
+            writer.close()
+
+    async def generate(self, request: GenerateRequest) -> ServedWindow:
+        """Run one request to completion and collect its window."""
+        window = ServedWindow()
+        async for event in self.stream(request):
+            if isinstance(event, RequestSummary):
+                window.summary = event
+            else:
+                window.patterns.extend(event.patterns)
+                window.sources.extend(event.sources)
+                window.clean.extend(event.clean)
+        return window

@@ -1,0 +1,118 @@
+"""Operational metrics of the generation service (the ``/metrics`` payload).
+
+One :class:`ServeMetrics` instance per :class:`~repro.serve.GenerationService`
+accumulates the four signals the ISSUE's serving contract names:
+
+* **request latency** — submit-to-summary wall clock, reported as p50/p95
+  over a bounded window of recent requests;
+* **batch occupancy** — how many requests each shared generation batch
+  served (the whole point of cross-request coalescing: occupancy > 1 means
+  the sampler amortised its fixed costs across clients);
+* **cache hit rate** — fraction of served samples answered from the pattern
+  cache instead of being re-generated;
+* **queue depth** — requests admitted but not yet finished (the value the
+  backpressure bound caps).
+
+All mutators take an internal lock: the service's worker updates from the
+event loop while the executor thread serving a cached short-circuit updates
+concurrently.  :meth:`snapshot` returns plain floats/ints, ready for JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["ServeMetrics"]
+
+
+def _percentile(values: "list[float]", fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation, stable for tiny windows)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+class ServeMetrics:
+    """Thread-safe counters and windows behind the ``/metrics`` endpoint."""
+
+    def __init__(self, window: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=window)
+        self._batch_sizes: "deque[int]" = deque(maxlen=window)
+        self._batch_requests: "deque[int]" = deque(maxlen=window)
+        self.requests_admitted = 0
+        self.requests_rejected = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.samples_generated = 0
+        self.samples_cached = 0
+        self.queue_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_admitted(self, queue_depth: int) -> None:
+        """A request passed the backpressure gate (``queue_depth`` after it)."""
+        with self._lock:
+            self.requests_admitted += 1
+            self.queue_depth = int(queue_depth)
+
+    def record_rejected(self) -> None:
+        """A request was refused because the pending bound was hit (HTTP 429)."""
+        with self._lock:
+            self.requests_rejected += 1
+
+    def record_finished(self, latency_seconds: float, ok: bool, queue_depth: int) -> None:
+        """A request reached its summary (successfully or not)."""
+        with self._lock:
+            if ok:
+                self.requests_completed += 1
+            else:
+                self.requests_failed += 1
+            self._latencies.append(float(latency_seconds))
+            self.queue_depth = int(queue_depth)
+
+    def record_batch(self, batch_size: int, num_requests: int) -> None:
+        """One shared generation batch completed, serving ``num_requests``."""
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+            self._batch_requests.append(int(num_requests))
+            self.samples_generated += int(batch_size)
+
+    def record_cached(self, num_samples: int) -> None:
+        """``num_samples`` of a request window were answered from the cache."""
+        with self._lock:
+            self.samples_cached += int(num_samples)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-ready dict (the ``/metrics`` body)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            batch_requests = list(self._batch_requests)
+            served = self.samples_generated + self.samples_cached
+            return {
+                "requests_admitted": self.requests_admitted,
+                "requests_rejected": self.requests_rejected,
+                "requests_completed": self.requests_completed,
+                "requests_failed": self.requests_failed,
+                "queue_depth": self.queue_depth,
+                "request_latency_p50_seconds": _percentile(latencies, 0.50),
+                "request_latency_p95_seconds": _percentile(latencies, 0.95),
+                "batches": len(batch_sizes),
+                "batch_occupancy_mean": (
+                    sum(batch_requests) / len(batch_requests) if batch_requests else 0.0
+                ),
+                "batch_size_mean": (
+                    sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+                ),
+                "samples_generated": self.samples_generated,
+                "samples_cached": self.samples_cached,
+                "cache_hit_rate": (self.samples_cached / served) if served else 0.0,
+            }

@@ -1,0 +1,274 @@
+"""Minimal HTTP/1.1 transport over the generation service.
+
+``python -m repro serve`` (and the ``repro-serve`` console script) runs
+:class:`ServeServer`: a dependency-free asyncio HTTP daemon — stdlib only,
+hand-rolled request parsing over :func:`asyncio.start_server` — exposing
+
+* ``GET /healthz`` — liveness plus the pending-request gauge;
+* ``GET /metrics`` — the :meth:`~repro.serve.ServeMetrics.snapshot` JSON;
+* ``GET /scenarios`` — the registry with per-scenario servability notes;
+* ``POST /generate`` — a :class:`~repro.serve.protocol.GenerateRequest`
+  JSON body, answered as a **chunked NDJSON stream**: one line per
+  :class:`~repro.serve.protocol.ChunkPayload` as each shared batch
+  completes, terminated by the request's
+  :class:`~repro.serve.protocol.RequestSummary` line.
+
+Error mapping: malformed body / unknown scenario → 400, backpressure
+rejection → 429, service stopping → 503, unknown path → 404.  See
+``docs/serving.md`` for the full lifecycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+
+from ..scenarios import ScenarioError, builtin_registry, load_scenarios
+from .protocol import GenerateRequest, ProtocolError
+from .service import GenerationService, ServiceBusyError, ServiceClosedError
+
+__all__ = ["ServeServer", "main", "scenario_listing", "servable_note"]
+
+_MAX_BODY = 4 * 1024 * 1024
+
+
+def servable_note(spec) -> str:
+    """One-line servability note for a resolved scenario spec.
+
+    Every registered scenario is servable with overrides; the note tells an
+    operator what the first request will cost — the service trains the
+    scenario's pipeline on demand, and a non-``tiny`` preset makes that
+    warmup heavy.
+    """
+    preset = spec.preset or "tiny"
+    if preset == "tiny":
+        return "servable (tiny preset: fast warmup on first request)"
+    return f"servable ({preset} preset: heavy warmup, trains at first request)"
+
+
+def scenario_listing(registry) -> "list[dict]":
+    """The ``GET /scenarios`` payload: name, description, servability."""
+    listing = []
+    for name in registry.names():
+        spec = registry.resolve(name)
+        listing.append(
+            {
+                "name": name,
+                "description": spec.description,
+                "preset": spec.preset or "tiny",
+                "servable": servable_note(spec),
+            }
+        )
+    return listing
+
+
+class ServeServer:
+    """The HTTP daemon: parses requests, maps them onto the service."""
+
+    def __init__(self, service: GenerationService, host: str = "127.0.0.1", port: int = 8181) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> None:
+        """Start the service worker and begin accepting connections.
+
+        With ``port=0`` the OS picks a free port; :attr:`port` is updated to
+        the bound value (how the tests run an ephemeral server).
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, then stop the service cleanly (mid-stream safe)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as error:
+                await self._respond(writer, 400, {"error": f"malformed request: {error}"})
+                return
+            await self._route(method, path, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"bad request line {request_line!r}")
+        method, path, _version = parts
+        headers: "dict[str, str]" = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError(f"content-length {length} out of bounds")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, body
+
+    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+        if method == "GET" and path == "/healthz":
+            await self._respond(
+                writer,
+                200,
+                {
+                    "status": "stopping" if self.service.stopping else "ok",
+                    "pending": self.service.pending,
+                },
+            )
+        elif method == "GET" and path == "/metrics":
+            await self._respond(writer, 200, self.service.metrics.snapshot())
+        elif method == "GET" and path == "/scenarios":
+            await self._respond(
+                writer, 200, {"scenarios": scenario_listing(self.service.registry)}
+            )
+        elif method == "POST" and path == "/generate":
+            await self._generate(body, writer)
+        else:
+            await self._respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _generate(self, body: bytes, writer) -> None:
+        try:
+            request = GenerateRequest.from_dict(json.loads(body.decode("utf-8")))
+            ticket = self.service.submit(request)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            await self._respond(writer, 400, {"error": f"invalid JSON body: {error}"})
+            return
+        except (ProtocolError, ScenarioError) as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+        except ServiceBusyError as error:
+            await self._respond(writer, 429, {"error": str(error)})
+            return
+        except ServiceClosedError as error:
+            await self._respond(writer, 503, {"error": str(error)})
+            return
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for payload in ticket.events():
+            await self._write_chunk(writer, payload.as_dict())
+        await self._write_chunk(writer, ticket.summary.as_dict())
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _write_chunk(writer, document: dict) -> None:
+        data = (json.dumps(document) + "\n").encode("utf-8")
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _respond(writer, status: int, document: dict) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 429: "Too Many Requests", 503: "Service Unavailable"}.get(status, "Error")
+        data = json.dumps(document).encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + data
+        )
+        await writer.drain()
+
+
+# ---------------------------------------------------------------------- #
+# entry point
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-running generation daemon with cross-request batching.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8181, help="0 picks a free port")
+    parser.add_argument(
+        "--scenario-file",
+        type=Path,
+        action="append",
+        default=[],
+        help="extra scenario TOML/JSON file(s) layered over the builtins",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="backpressure bound: in-flight requests before submits get 429",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest coalesced sampling/legalization batch (memory knob)",
+    )
+    return parser
+
+
+async def _serve_until_interrupted(server: ServeServer) -> None:
+    await server.start()
+    print(f"repro serve listening on http://{server.host}:{server.port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # non-Unix event loops
+            pass
+    await stop.wait()
+    print("repro serve: shutting down", flush=True)
+    await server.stop()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Console entry point (``repro-serve`` / ``python -m repro serve``)."""
+    args = build_parser().parse_args(argv)
+    registry = builtin_registry()
+    try:
+        for path in args.scenario_file:
+            load_scenarios(path, registry=registry)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    service = GenerationService(
+        registry=registry, max_pending=args.max_pending, max_batch=args.max_batch
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+    try:
+        asyncio.run(_serve_until_interrupted(server))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

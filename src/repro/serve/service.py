@@ -1,0 +1,418 @@
+"""Asyncio generation service: admission, coalescing, caching, shutdown.
+
+:class:`GenerationService` is the in-process heart of ``repro serve`` (the
+HTTP daemon in :mod:`repro.serve.server` is a thin transport over it):
+
+* **Admission** (:meth:`GenerationService.submit`) is synchronous on the
+  event loop.  The request's scenario is resolved and lowered, its sample
+  window is reserved on the stream's ledger *in submission order* — that
+  reservation, not the later generation schedule, pins which samples the
+  request owns — and a bounded pending count applies backpressure: when
+  ``max_pending`` requests are already in flight the submit raises
+  :class:`ServiceBusyError` (HTTP 429) instead of queueing unboundedly.
+* **Coalescing**: one worker task drains every waiting request at once,
+  groups them by stream identity, and advances each group's shared
+  :class:`~repro.serve.StreamBatcher` in batches spanning all waiting
+  windows — concurrent clients are served by the same sampling and
+  legalization calls.  Each completed chunk is routed to every request
+  whose window it intersects, as a streamed
+  :class:`~repro.serve.protocol.ChunkPayload`.
+* **Caching**: a window that is already fully generated is answered from
+  the batcher's pattern cache at submit time, without occupying a pending
+  slot; partially-covered windows get their cached prefix before any new
+  generation runs.
+* **Shutdown** (:meth:`GenerationService.stop`) is clean mid-stream: the
+  worker finishes the chunk in flight (executor work cannot be interrupted),
+  then every unfinished request receives a terminal
+  :class:`~repro.serve.protocol.RequestSummary` with ``ok=False`` — chunks
+  already delivered remain valid.
+
+Determinism contract (asserted by ``tests/test_serve.py`` and the
+``serve_parity`` benchmark gate): the patterns served for window
+``[a, b)`` are bit-identical to samples ``[a, b)`` of a one-shot
+``repro generate`` of the same scenario/seed, for any number of concurrent
+clients, any interleaving, and any ``max_batch``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..scenarios import builtin_registry
+from .batcher import StreamBatcher
+from .metrics import ServeMetrics
+from .protocol import ChunkPayload, GenerateRequest, RequestSummary
+
+__all__ = [
+    "GenerationService",
+    "RequestTicket",
+    "ServedWindow",
+    "ServiceBusyError",
+    "ServiceClosedError",
+]
+
+
+class ServiceBusyError(RuntimeError):
+    """The pending-request bound is hit; the caller should retry later (429)."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is stopping or stopped and admits no new requests (503)."""
+
+
+@dataclass
+class ServedWindow:
+    """Everything one finished request produced, collected in stream order."""
+
+    patterns: list = field(default_factory=list)
+    sources: list = field(default_factory=list)
+    clean: list = field(default_factory=list)
+    summary: "RequestSummary | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None and self.summary.ok
+
+
+class RequestTicket:
+    """Handle to one admitted request: an async stream of its events.
+
+    Iterate :meth:`events` for per-chunk streaming, or await
+    :meth:`collect` for the whole window at once.  Exactly one
+    :class:`~repro.serve.protocol.RequestSummary` terminates the stream.
+    """
+
+    def __init__(self, request: GenerateRequest, scenario: str, start: int, end: int) -> None:
+        self.request = request
+        self.scenario = scenario
+        #: Absolute sample window ``[start, end)`` reserved for this request.
+        self.start = start
+        self.end = end
+        self.summary: "RequestSummary | None" = None
+        self._events: "asyncio.Queue" = asyncio.Queue()
+        self._submitted = time.perf_counter()
+        self._covered = start
+        self._admitted = False
+        self._finished = False
+        self._batcher: "StreamBatcher | None" = None
+        self.num_patterns = 0
+        self.num_clean = 0
+        self.cached_samples = 0
+        self.live_chunks = 0
+
+    async def events(self):
+        """Yield :class:`ChunkPayload` events until the summary arrives.
+
+        The terminating summary is not yielded; it lands on
+        :attr:`summary`.
+        """
+        while True:
+            event = await self._events.get()
+            if isinstance(event, RequestSummary):
+                self.summary = event
+                return
+            yield event
+
+    async def collect(self) -> ServedWindow:
+        """Drain the whole event stream into one :class:`ServedWindow`."""
+        window = ServedWindow()
+        async for payload in self.events():
+            window.patterns.extend(payload.patterns)
+            window.sources.extend(payload.sources)
+            window.clean.extend(payload.clean)
+        window.summary = self.summary
+        return window
+
+
+class GenerationService:
+    """Coalescing generation service over the scenario registry.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.scenarios.ScenarioRegistry`; defaults to the
+        builtins.
+    max_pending:
+        Backpressure bound: requests admitted but not yet finished.  A
+        submit beyond it raises :class:`ServiceBusyError`.
+    max_batch:
+        Largest coalesced batch one engine call may span (memory knob;
+        results are identical for any value).
+    pipeline_factory:
+        Optional ``plan -> (trained pipeline, generator)`` hook forwarded
+        to each :class:`~repro.serve.StreamBatcher` (tests inject
+        pre-trained pipelines).
+    metrics:
+        A :class:`~repro.serve.ServeMetrics`; a fresh one by default.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        max_pending: int = 8,
+        max_batch: int = 64,
+        pipeline_factory=None,
+        metrics: "ServeMetrics | None" = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.registry = registry if registry is not None else builtin_registry()
+        self.max_pending = int(max_pending)
+        self.max_batch = int(max_batch)
+        self.pipeline_factory = pipeline_factory
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._batchers: "dict[str, StreamBatcher]" = {}
+        self._queue: "deque[RequestTicket]" = deque()
+        self._wake = asyncio.Event()
+        self._pending = 0
+        self._stopping = False
+        self._worker: "asyncio.Task | None" = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the worker task.  Requests submitted earlier drain at once
+        — which is also how the throughput benchmark forces a maximally
+        coalesced first batch."""
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop cleanly: finish the chunk in flight, fail the rest.
+
+        Every admitted-but-unfinished request receives a terminal summary
+        with ``ok=False``; already-delivered chunks stay valid.  Idempotent.
+        """
+        self._stopping = True
+        self._wake.set()
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+        while self._queue:
+            self._finish(self._queue.popleft(), ok=False, error="service stopped")
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet finished (the queue-depth gauge)."""
+        return self._pending
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def plan_for(self, request: GenerateRequest):
+        """Resolve and lower the request's scenario (+ overrides).
+
+        Raises :class:`~repro.scenarios.ScenarioError` on an unknown
+        scenario or invalid overrides — mapped to HTTP 400 by the server.
+        """
+        spec = self.registry.resolve(request.scenario)
+        if request.overrides:
+            spec = spec.with_overrides(request.overrides)
+        return spec.lower()
+
+    def submit(self, request: GenerateRequest) -> RequestTicket:
+        """Admit one request and return its ticket.
+
+        Runs synchronously on the event loop: scenario resolution, window
+        reservation and the cache/backpressure decision all happen before
+        control returns, so the request→window mapping is fixed by
+        submission order alone.
+
+        Raises
+        ------
+        ServiceClosedError
+            After :meth:`stop` has begun.
+        ServiceBusyError
+            When ``max_pending`` requests are already in flight (the
+            explicit-reject backpressure contract; never silently queues
+            past the bound).
+        repro.scenarios.ScenarioError
+            On an unknown scenario or invalid overrides.
+        """
+        if self._stopping:
+            raise ServiceClosedError("service is stopping")
+        plan = self.plan_for(request)
+        count = request.count if request.count is not None else plan.num_generated
+        batcher = self._batcher_for(plan)
+        start, end = batcher.reserve(count, request.start)
+        ticket = RequestTicket(request, plan.scenario, start, end)
+        ticket._batcher = batcher
+
+        # Fully-cached window: answer immediately, never occupy a pending
+        # slot — repeat requests cost nothing even under full load.
+        if batcher.ready and end <= batcher.covered_through():
+            self.metrics.record_admitted(self._pending)
+            self._serve_cached_prefix(ticket, batcher)
+            self._finish(ticket, ok=True)
+            return ticket
+
+        if self._pending >= self.max_pending:
+            self.metrics.record_rejected()
+            raise ServiceBusyError(
+                f"{self._pending} requests already pending (max {self.max_pending})"
+            )
+        self._pending += 1
+        ticket._admitted = True
+        self.metrics.record_admitted(self._pending)
+        self._queue.append(ticket)
+        self._wake.set()
+        return ticket
+
+    def _batcher_for(self, plan) -> StreamBatcher:
+        probe = StreamBatcher(plan, self.pipeline_factory, max_batch=self.max_batch)
+        existing = self._batchers.get(probe.key)
+        if existing is not None:
+            return existing
+        self._batchers[probe.key] = probe
+        return probe
+
+    # ------------------------------------------------------------------ #
+    # worker
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            if not self._queue:
+                self._wake.clear()
+                if self._queue or self._stopping:
+                    continue
+                await self._wake.wait()
+                continue
+            # Drain *everything* waiting right now: this is the coalescing
+            # moment — all windows reserved so far are served together.
+            drained = list(self._queue)
+            self._queue.clear()
+            groups: "dict[str, list[RequestTicket]]" = {}
+            for ticket in drained:
+                groups.setdefault(ticket._batcher.key, []).append(ticket)
+            for tickets in groups.values():
+                await self._process_group(tickets[0]._batcher, tickets, loop)
+
+    async def _process_group(
+        self, batcher: StreamBatcher, tickets: "list[RequestTicket]", loop
+    ) -> None:
+        try:
+            if not batcher.ready:
+                await loop.run_in_executor(None, batcher.ensure_ready)
+        except Exception as error:  # noqa: BLE001 - reported to every client
+            for ticket in tickets:
+                self._finish(ticket, ok=False, error=f"warmup failed: {error}")
+            return
+
+        live: "list[RequestTicket]" = []
+        for ticket in tickets:
+            self._serve_cached_prefix(ticket, batcher)
+            if ticket._covered >= ticket.end:
+                self._finish(ticket, ok=True)
+            else:
+                live.append(ticket)
+        if not live:
+            return
+
+        target = max(ticket.end for ticket in live)
+        while live and batcher.covered_through() < target:
+            if self._stopping:
+                break
+            size = min(self.max_batch, target - batcher.covered_through())
+            try:
+                chunk = await loop.run_in_executor(None, batcher.advance, size)
+            except Exception as error:  # noqa: BLE001 - reported to every client
+                for ticket in live:
+                    self._finish(ticket, ok=False, error=f"generation failed: {error}")
+                return
+            occupancy = sum(
+                1 for t in live if t.start < chunk.end and t.end > chunk.start
+            )
+            self.metrics.record_batch(chunk.size, occupancy)
+            remaining = []
+            for ticket in live:
+                self._deliver_chunk(ticket, chunk)
+                if ticket._covered >= ticket.end:
+                    self._finish(ticket, ok=True)
+                else:
+                    remaining.append(ticket)
+            live = remaining
+        for ticket in live:
+            self._finish(ticket, ok=False, error="service stopped mid-stream")
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+    def _serve_cached_prefix(self, ticket: RequestTicket, batcher: StreamBatcher) -> None:
+        hi = min(ticket.end, batcher.covered_through())
+        if hi <= ticket._covered:
+            return
+        lo = ticket._covered
+        for record, patterns, sources, clean in batcher.cover(lo, hi):
+            payload = ChunkPayload(
+                start=max(record.start, lo),
+                end=min(record.end, hi),
+                patterns=patterns,
+                sources=sources,
+                clean=clean,
+                cached=True,
+            )
+            ticket.num_patterns += len(patterns)
+            ticket.num_clean += sum(1 for flag in clean if flag)
+            ticket._events.put_nowait(payload)
+        ticket.cached_samples += hi - lo
+        self.metrics.record_cached(hi - lo)
+        ticket._covered = hi
+
+    def _deliver_chunk(self, ticket: RequestTicket, chunk) -> None:
+        lo = max(ticket.start, chunk.start)
+        hi = min(ticket.end, chunk.end)
+        if lo >= hi:
+            return
+        patterns, sources, clean = [], [], []
+        for pattern, source, flag in zip(
+            chunk.patterns, chunk.pattern_sources, chunk.clean_mask
+        ):
+            if lo <= source < hi:
+                patterns.append(pattern)
+                sources.append(int(source))
+                clean.append(bool(flag))
+        ticket._events.put_nowait(
+            ChunkPayload(
+                start=lo, end=hi, patterns=patterns, sources=sources, clean=clean
+            )
+        )
+        ticket.num_patterns += len(patterns)
+        ticket.num_clean += sum(1 for flag in clean if flag)
+        ticket.live_chunks += 1
+        ticket._covered = max(ticket._covered, hi)
+
+    def _finish(
+        self, ticket: RequestTicket, ok: bool, error: "str | None" = None
+    ) -> None:
+        if ticket._finished:
+            return
+        ticket._finished = True
+        if ticket._admitted:
+            self._pending -= 1
+        elapsed = time.perf_counter() - ticket._submitted
+        ticket._events.put_nowait(
+            RequestSummary(
+                ok=ok,
+                scenario=ticket.scenario,
+                start=ticket.start,
+                end=ticket.end,
+                num_patterns=ticket.num_patterns,
+                num_clean=ticket.num_clean,
+                cached_samples=ticket.cached_samples,
+                live_chunks=ticket.live_chunks,
+                elapsed_seconds=elapsed,
+                error=error,
+            )
+        )
+        self.metrics.record_finished(elapsed, ok, self._pending)

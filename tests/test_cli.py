@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro.library import PatternLibrary
 
 
@@ -143,3 +143,32 @@ class TestBench:
         code = main(["generate", "--scenario", "smoke", "--steps", "99", *smoke_args])
         assert code == 1
         assert "sampling.steps" in capsys.readouterr().err
+
+
+class TestServeWiring:
+    """`repro serve` is registered and list-scenarios flags servability."""
+
+    def test_serve_subcommand_parses(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.max_pending == 8
+        assert args.max_batch == 64
+
+    def test_serve_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9999",
+             "--max-pending", "3", "--max-batch", "16"]
+        )
+        assert (args.host, args.port) == ("0.0.0.0", 9999)
+        assert (args.max_pending, args.max_batch) == (3, 16)
+
+    def test_list_scenarios_notes_servability(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        # Every listed scenario carries a servability note; tiny presets
+        # advertise the fast warmup, heavier ones warn about training cost.
+        assert out.count("servable (") >= 7
+        assert "fast warmup on first request" in out
+        assert "heavy warmup, trains at first request" in out

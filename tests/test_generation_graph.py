@@ -357,3 +357,77 @@ class TestGraphValidation:
     def test_rejects_bad_num_samples(self, graph_parts, rules):
         with pytest.raises(ValueError):
             build_graph(graph_parts, rules, chunk_size=4).run(0, seed=1)
+
+
+class TestGenerationStream:
+    """The incremental pull handle behind `repro serve` (PR 7)."""
+
+    @pytest.fixture(scope="class")
+    def batch_result(self, graph_parts, rules):
+        return build_graph(graph_parts, rules, chunk_size=NUM_SAMPLES).run(NUM_SAMPLES, seed=11)
+
+    @pytest.mark.parametrize("sizes", [(18,), (1,) * 18, (7, 7, 4), (5, 9, 4)])
+    def test_any_advance_chunking_matches_batch(
+        self, graph_parts, rules, batch_result, sizes
+    ):
+        stream = build_graph(graph_parts, rules, chunk_size=4).open_stream(seed=11)
+        patterns, sources = [], []
+        for size in sizes:
+            chunk = stream.advance(size)
+            assert chunk.end == chunk.start + size
+            assert len(chunk.pattern_sources) == len(chunk.patterns)
+            patterns.extend(chunk.patterns)
+            sources.extend(chunk.pattern_sources)
+        assert stream.next_start == NUM_SAMPLES
+        assert len(patterns) == batch_result.num_patterns
+        for ours, theirs in zip(patterns, batch_result.patterns):
+            np.testing.assert_array_equal(ours.topology, theirs.topology)
+            np.testing.assert_array_equal(ours.delta_x, theirs.delta_x)
+            np.testing.assert_array_equal(ours.delta_y, theirs.delta_y)
+        # Source indices are absolute sample positions, strictly grouped.
+        assert sources == sorted(sources)
+        assert all(0 <= s < NUM_SAMPLES for s in sources)
+
+    def test_kept_indices_align_with_prefilter(self, graph_parts, rules):
+        stream = build_graph(graph_parts, rules, chunk_size=4).open_stream(seed=11)
+        chunk = stream.advance(NUM_SAMPLES)
+        assert len(chunk.kept) == len(chunk.kept_indices)
+        assert len(chunk.kept) + chunk.num_rejected == NUM_SAMPLES
+        for index, matrix in zip(chunk.kept_indices, chunk.kept):
+            np.testing.assert_array_equal(matrix, chunk.matrices[index - chunk.start])
+        # Every pattern's source survived the prefilter.
+        assert set(chunk.pattern_sources) <= set(chunk.kept_indices)
+        assert chunk.num_clean == int(chunk.clean_mask.sum())
+
+    def test_on_chunk_hook_sees_every_live_chunk(self, graph_parts, rules, batch_result):
+        seen = []
+        graph = build_graph(graph_parts, rules, chunk_size=7)
+        graph.on_chunk = seen.append
+        result = graph.run(NUM_SAMPLES, seed=11)
+        assert [c.chunk for c in seen] == [0, 1, 2]
+        assert [c.start for c in seen] == [0, 7, 14]
+        assert sum(c.size for c in seen) == NUM_SAMPLES
+        hook_patterns = [p for c in seen for p in c.patterns]
+        assert len(hook_patterns) == result.num_patterns == batch_result.num_patterns
+        for ours, theirs in zip(hook_patterns, result.patterns):
+            np.testing.assert_array_equal(ours.delta_x, theirs.delta_x)
+
+    def test_on_chunk_not_fired_for_resumed_chunks(self, graph_parts, rules, tmp_path):
+        library = PatternLibrary(tmp_path / "lib")
+        graph = build_graph(graph_parts, rules, chunk_size=6, library=library)
+        graph.run(NUM_SAMPLES, seed=11, stop_after_chunks=2)
+
+        seen = []
+        resumed_library = PatternLibrary(tmp_path / "lib")
+        graph2 = build_graph(graph_parts, rules, chunk_size=6, library=resumed_library)
+        graph2.on_chunk = seen.append
+        result = graph2.run(NUM_SAMPLES, seed=11, resume=True)
+        # Two chunks came from the manifest; only the third was live.
+        assert [c.chunk for c in seen] == [2]
+        assert graph2.last_report.chunks_resumed == 2
+        assert result.num_patterns > 0
+
+    def test_stream_rejects_bad_size(self, graph_parts, rules):
+        stream = build_graph(graph_parts, rules, chunk_size=4).open_stream(seed=11)
+        with pytest.raises(ValueError):
+            stream.advance(0)

@@ -1,0 +1,505 @@
+"""Tests for the ``repro serve`` generation service.
+
+The central claim under test is the serving determinism contract: any
+window ``[a, b)`` the service answers — across concurrent clients, any
+submission interleaving, any coalesced batch size, cached or live, in
+process or over HTTP — is bit-identical to samples ``[a, b)`` of a
+one-shot ``repro generate`` run of the same scenario/seed.
+
+No pytest-asyncio in the toolchain: every async test body runs through a
+plain ``asyncio.run``.  One pipeline is trained per module; the service's
+``pipeline_factory`` hook re-enters generation from a snapshot of the
+post-training RNG state, exactly as the CLI's warmup would leave it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.pipeline import DiffPatternPipeline
+from repro.scenarios import ScenarioError, ScenarioRegistry
+from repro.serve import (
+    ChunkPayload,
+    GenerateRequest,
+    GenerationService,
+    ProtocolError,
+    RequestSummary,
+    ServeClient,
+    ServeHTTPError,
+    ServeMetrics,
+    ServeServer,
+    ServiceBusyError,
+    ServiceClosedError,
+    pattern_from_json,
+    pattern_to_json,
+    stream_key,
+)
+from repro.utils import as_rng
+
+#: Samples covered by the one-shot reference run; windows tile this range.
+NUM_REFERENCE = 18
+
+
+def _registry() -> ScenarioRegistry:
+    registry = ScenarioRegistry()
+    registry.register_dict(
+        "serve-test",
+        {
+            "description": "tiny regime for serving tests",
+            "preset": "tiny",
+            "training": {"iterations": 150, "num_patterns": 48},
+            "engine": {"sample_batch_size": 8, "workers": 1},
+            "run": {"num_generated": 10, "seed": 7},
+        },
+    )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def serve_env():
+    """Trained pipeline + RNG snapshot + the one-shot reference window."""
+    registry = _registry()
+    plan = registry.resolve("serve-test").lower()
+    pipeline = DiffPatternPipeline(plan.config)
+    gen = as_rng(plan.seed)
+    pipeline.prepare_data(plan.num_training_patterns, rng=gen)
+    pipeline.train(rng=gen)
+    state = gen.bit_generator.state
+
+    ref_gen = as_rng(0)
+    ref_gen.bit_generator.state = state
+    reference = pipeline.generate_and_legalize(
+        NUM_REFERENCE,
+        num_solutions=plan.num_solutions,
+        rng=ref_gen,
+        stream=plan.stream,
+        retain_topologies=False,
+    )
+
+    def factory(_plan):
+        restored = as_rng(0)
+        restored.bit_generator.state = state
+        return pipeline, restored
+
+    return SimpleNamespace(
+        registry=registry, plan=plan, factory=factory, reference=reference
+    )
+
+
+def _service(env, **kwargs) -> GenerationService:
+    kwargs.setdefault("registry", _registry())
+    kwargs.setdefault("pipeline_factory", env.factory)
+    return GenerationService(**kwargs)
+
+
+def _assert_same_patterns(served, reference_patterns) -> None:
+    assert len(served) == len(reference_patterns)
+    for ours, theirs in zip(served, reference_patterns):
+        assert np.array_equal(ours.topology, theirs.topology)
+        assert np.array_equal(ours.delta_x, theirs.delta_x)
+        assert np.array_equal(ours.delta_y, theirs.delta_y)
+
+
+def _in_source_order(windows):
+    patterns, sources = [], []
+    for window in windows:
+        patterns.extend(window.patterns)
+        sources.extend(window.sources)
+    order = np.argsort(np.asarray(sources), kind="stable")
+    return [patterns[i] for i in order]
+
+
+# --------------------------------------------------------------------------- #
+# coalescing bit-identity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("max_batch", [1, 7, 64])
+def test_interleaved_clients_bit_identical_to_one_shot(serve_env, max_batch):
+    """Three clients, staggered submissions, every batch size: same bits."""
+
+    async def scenario():
+        service = _service(serve_env, max_batch=max_batch)
+        # Two clients queue before the worker even starts...
+        first = service.submit(GenerateRequest(scenario="serve-test", count=5))
+        second = service.submit(GenerateRequest(scenario="serve-test", count=9))
+        await service.start()
+
+        async def late_client():
+            # ...and a third interleaves once generation is mid-stream.
+            while service.metrics.snapshot()["samples_generated"] == 0:
+                await asyncio.sleep(0.001)
+            return service.submit(GenerateRequest(scenario="serve-test", count=4))
+
+        third = await late_client()
+        windows = await asyncio.gather(
+            first.collect(), second.collect(), third.collect()
+        )
+        await service.stop()
+        return service, windows
+
+    service, windows = asyncio.run(scenario())
+    assert all(window.ok for window in windows)
+    # Windows tile [0, 18) in submission order regardless of interleaving.
+    spans = sorted((w.summary.start, w.summary.end) for w in windows)
+    assert spans == [(0, 5), (5, 14), (14, 18)]
+    # Splice every served pattern back together by source index: the union
+    # must be the one-shot run, bit for bit.
+    _assert_same_patterns(_in_source_order(windows), serve_env.reference.patterns)
+    assert (
+        sum(w.summary.num_clean for w in windows)
+        == round(serve_env.reference.legality * len(serve_env.reference.patterns))
+    )
+
+
+def test_single_client_parity_and_occupancy(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_batch=7)
+        ticket_a = service.submit(GenerateRequest(scenario="serve-test", count=10))
+        ticket_b = service.submit(GenerateRequest(scenario="serve-test", count=8))
+        await service.start()
+        windows = await asyncio.gather(ticket_a.collect(), ticket_b.collect())
+        snapshot = service.metrics.snapshot()
+        await service.stop()
+        return windows, snapshot
+
+    windows, snapshot = asyncio.run(scenario())
+    assert all(window.ok for window in windows)
+    _assert_same_patterns(_in_source_order(windows), serve_env.reference.patterns)
+    # Both clients drained in one coalesced sweep: the batch straddling the
+    # window boundary at sample 10 served both requests.
+    assert snapshot["batch_occupancy_mean"] > 1.0
+    assert snapshot["samples_generated"] == NUM_REFERENCE
+    assert snapshot["requests_completed"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# backpressure
+# --------------------------------------------------------------------------- #
+def test_backpressure_rejects_beyond_max_pending(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_pending=2)
+        # Worker not started: submits stack up against the pending bound.
+        t1 = service.submit(GenerateRequest(scenario="serve-test", count=2))
+        t2 = service.submit(GenerateRequest(scenario="serve-test", count=2))
+        with pytest.raises(ServiceBusyError):
+            service.submit(GenerateRequest(scenario="serve-test", count=2))
+        assert service.metrics.snapshot()["requests_rejected"] == 1
+        # Shutdown resolves the queued tickets with explicit failures.
+        await service.start()
+        await service.stop()
+        return await asyncio.gather(t1.collect(), t2.collect())
+
+    windows = asyncio.run(scenario())
+    for window in windows:
+        assert not window.ok
+        assert "stopped" in window.summary.error
+
+
+def test_submit_after_stop_is_refused(serve_env):
+    async def scenario():
+        service = _service(serve_env)
+        await service.start()
+        await service.stop()
+        with pytest.raises(ServiceClosedError):
+            service.submit(GenerateRequest(scenario="serve-test", count=1))
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------------- #
+def test_repeat_window_is_served_from_cache(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_batch=6)
+        live = service.submit(GenerateRequest(scenario="serve-test", count=12))
+        await service.start()
+        first = await live.collect()
+        # Same window again: answered at submit time, no pending slot, no
+        # new generation.
+        repeat_ticket = service.submit(
+            GenerateRequest(scenario="serve-test", count=12, start=0)
+        )
+        assert service.pending == 0
+        repeat = await repeat_ticket.collect()
+        snapshot = service.metrics.snapshot()
+        await service.stop()
+        return first, repeat, snapshot
+
+    first, repeat, snapshot = asyncio.run(scenario())
+    assert first.ok and repeat.ok
+    assert repeat.summary.cached_samples == 12
+    assert repeat.summary.live_chunks == 0
+    _assert_same_patterns(repeat.patterns, first.patterns)
+    assert snapshot["samples_cached"] == 12
+    assert snapshot["samples_generated"] == 12
+    assert snapshot["cache_hit_rate"] == pytest.approx(0.5)
+
+
+def test_partial_overlap_reuses_cached_prefix(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_batch=64)
+        head = service.submit(GenerateRequest(scenario="serve-test", count=8))
+        await service.start()
+        await head.collect()
+        # Overlapping window [4, 16): the first half replays from cache,
+        # only [8, 16) is newly generated.
+        overlap = service.submit(
+            GenerateRequest(scenario="serve-test", count=12, start=4)
+        )
+        window = await overlap.collect()
+        await service.stop()
+        return window
+
+    window = asyncio.run(scenario())
+    assert window.ok
+    assert window.summary.cached_samples == 4
+    assert window.summary.live_chunks >= 1
+    reference = [
+        p
+        for p, s in zip(
+            serve_env.reference.patterns,
+            _reference_sources(serve_env),
+        )
+        if 4 <= s < 16
+    ]
+    _assert_same_patterns(window.patterns, reference)
+
+
+def _reference_sources(env):
+    """Absolute source sample index per reference pattern (via a stream)."""
+    pipeline, gen = env.factory(env.plan)
+    graph = pipeline.generation_graph(
+        num_solutions=env.plan.num_solutions, retain_topologies=False
+    )
+    stream = graph.open_stream(gen)
+    sources = []
+    while stream.next_start < NUM_REFERENCE:
+        chunk = stream.advance(min(6, NUM_REFERENCE - stream.next_start))
+        sources.extend(chunk.pattern_sources)
+    return sources
+
+
+def test_streams_are_keyed_by_scenario_identity(serve_env):
+    async def scenario():
+        service = _service(serve_env)
+        service.submit(GenerateRequest(scenario="serve-test", count=2))
+        service.submit(
+            GenerateRequest(
+                scenario="serve-test", count=2, overrides={"run": {"seed": 99}}
+            )
+        )
+        n_batchers = len(service._batchers)
+        await service.start()
+        await service.stop()
+        return n_batchers
+
+    assert asyncio.run(scenario()) == 2
+    plan_a = serve_env.registry.resolve("serve-test").lower()
+    plan_b = serve_env.registry.resolve("serve-test").with_overrides(
+        {"run": {"num_generated": 999}}
+    ).lower()
+    # Window-shaping knobs are not part of the stream identity...
+    assert stream_key(plan_a) == stream_key(plan_b)
+    plan_c = serve_env.registry.resolve("serve-test").with_overrides(
+        {"run": {"seed": 99}}
+    ).lower()
+    # ...but the seed is.
+    assert stream_key(plan_a) != stream_key(plan_c)
+
+
+# --------------------------------------------------------------------------- #
+# shutdown mid-stream
+# --------------------------------------------------------------------------- #
+def test_clean_shutdown_mid_stream(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_batch=1)
+        ticket = service.submit(GenerateRequest(scenario="serve-test", count=18))
+        await service.start()
+        # Wait for generation to be demonstrably underway, then stop.
+        first_event = await ticket._events.get()
+        await service.stop()
+        window = await ticket.collect()
+        return first_event, window
+
+    first_event, window = asyncio.run(scenario())
+    assert isinstance(first_event, ChunkPayload)
+    assert not window.ok
+    assert "stopped" in window.summary.error
+    # Whatever arrived before the stop is still the real prefix of the run.
+    served = first_event.patterns + window.patterns
+    sources = first_event.sources + window.sources
+    by_source = dict(zip(_reference_sources(serve_env), serve_env.reference.patterns))
+    assert len(served) < len(serve_env.reference.patterns)
+    for pattern, source in zip(served, sources):
+        reference = by_source[source]
+        assert np.array_equal(pattern.topology, reference.topology)
+        assert np.array_equal(pattern.delta_x, reference.delta_x)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------------- #
+def test_http_end_to_end(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_batch=4)
+        server = ServeServer(service, port=0)
+        await server.start()
+        client = ServeClient(port=server.port)
+
+        health = await client.healthz()
+        window = await client.generate(GenerateRequest(scenario="serve-test", count=6))
+        metrics = await client.metrics()
+        scenarios = await client.scenarios()
+        with pytest.raises(ServeHTTPError) as unknown:
+            await client.generate(GenerateRequest(scenario="nope", count=1))
+        with pytest.raises(ServeHTTPError) as bad_path:
+            await client.get_json("/nope")
+
+        await server.stop()
+        closed_health = ServeClient(port=server.port)
+        with pytest.raises(OSError):
+            await closed_health.healthz()
+        return health, window, metrics, scenarios, unknown.value, bad_path.value
+
+    health, window, metrics, scenarios, unknown, bad_path = asyncio.run(scenario())
+    assert health["status"] == "ok"
+    assert window.ok
+    reference = [
+        p
+        for p, s in zip(serve_env.reference.patterns, _reference_sources(serve_env))
+        if s < 6
+    ]
+    _assert_same_patterns(window.patterns, reference)
+    assert metrics["samples_generated"] == 6
+    names = [entry["name"] for entry in scenarios["scenarios"]]
+    assert "serve-test" in names
+    assert all("servable" in entry["servable"] for entry in scenarios["scenarios"])
+    assert unknown.status == 400
+    assert bad_path.status == 404
+
+
+def test_http_malformed_requests(serve_env):
+    async def scenario():
+        service = _service(serve_env)
+        server = ServeServer(service, port=0)
+        await server.start()
+        results = []
+        for body in (b"{not json", b'{"count": 3}', b'{"scenario": "serve-test", "count": 0}'):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(
+                b"POST /generate HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+            status = (await reader.readline()).decode().split()[1]
+            results.append(int(status))
+            writer.close()
+        await server.stop()
+        return results
+
+    assert asyncio.run(scenario()) == [400, 400, 400]
+
+
+def test_http_backpressure_maps_to_429(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_pending=1)
+        server = ServeServer(service, port=0)
+        # Worker deliberately not started: the first submit occupies the
+        # single pending slot, the second must be rejected with 429.
+        service.submit(GenerateRequest(scenario="serve-test", count=1))
+        server._server = await asyncio.start_server(
+            server._handle, server.host, 0
+        )
+        server.port = server._server.sockets[0].getsockname()[1]
+        client = ServeClient(port=server.port)
+        with pytest.raises(ServeHTTPError) as rejected:
+            await client.generate(GenerateRequest(scenario="serve-test", count=1))
+        await server.stop()
+        return rejected.value
+
+    assert asyncio.run(scenario()).status == 429
+
+
+# --------------------------------------------------------------------------- #
+# protocol codecs
+# --------------------------------------------------------------------------- #
+def test_pattern_json_round_trip_is_lossless(serve_env):
+    for pattern in serve_env.reference.patterns:
+        decoded = pattern_from_json(pattern_to_json(pattern))
+        assert np.array_equal(decoded.topology, pattern.topology)
+        assert np.array_equal(decoded.delta_x, pattern.delta_x)
+        assert np.array_equal(decoded.delta_y, pattern.delta_y)
+        assert decoded.topology.dtype == pattern.topology.dtype
+        assert decoded.delta_x.dtype == pattern.delta_x.dtype
+
+
+def test_generate_request_validation():
+    request = GenerateRequest.from_dict(
+        {"scenario": "smoke", "count": 3, "start": 1, "overrides": {"run": {"seed": 1}}}
+    )
+    assert GenerateRequest.from_dict(request.as_dict()) == request
+    for bad in (
+        "not a mapping",
+        {},
+        {"scenario": ""},
+        {"scenario": "smoke", "count": 0},
+        {"scenario": "smoke", "count": True},
+        {"scenario": "smoke", "start": -1},
+        {"scenario": "smoke", "overrides": []},
+        {"scenario": "smoke", "bogus": 1},
+    ):
+        with pytest.raises(ProtocolError):
+            GenerateRequest.from_dict(bad)
+
+
+def test_event_payload_round_trips(serve_env):
+    payload = ChunkPayload(
+        start=3,
+        end=7,
+        patterns=serve_env.reference.patterns[:2],
+        sources=[3, 5],
+        clean=[True, False],
+        cached=True,
+    )
+    decoded = ChunkPayload.from_dict(payload.as_dict())
+    assert (decoded.start, decoded.end, decoded.sources, decoded.clean, decoded.cached) == (
+        3, 7, [3, 5], [True, False], True,
+    )
+    _assert_same_patterns(decoded.patterns, payload.patterns)
+
+    summary = RequestSummary(
+        ok=False, scenario="s", start=0, end=4, num_patterns=2,
+        cached_samples=1, live_chunks=3, elapsed_seconds=0.5, error="boom",
+    )
+    assert RequestSummary.from_dict(summary.as_dict()) == summary
+    with pytest.raises(ProtocolError):
+        ChunkPayload.from_dict({"kind": "summary"})
+    with pytest.raises(ProtocolError):
+        RequestSummary.from_dict({"kind": "chunk"})
+
+
+def test_unknown_scenario_raises_scenario_error(serve_env):
+    service = _service(serve_env)
+    with pytest.raises(ScenarioError):
+        service.submit(GenerateRequest(scenario="no-such-scenario", count=1))
+
+
+def test_metrics_snapshot_shape():
+    metrics = ServeMetrics()
+    metrics.record_admitted(1)
+    metrics.record_batch(8, 3)
+    metrics.record_cached(4)
+    metrics.record_finished(0.25, ok=True, queue_depth=0)
+    metrics.record_rejected()
+    snapshot = metrics.snapshot()
+    assert snapshot["requests_admitted"] == 1
+    assert snapshot["requests_rejected"] == 1
+    assert snapshot["batch_occupancy_mean"] == 3.0
+    assert snapshot["cache_hit_rate"] == pytest.approx(4 / 12)
+    assert snapshot["request_latency_p50_seconds"] == pytest.approx(0.25)
+    assert snapshot["request_latency_p95_seconds"] == pytest.approx(0.25)
