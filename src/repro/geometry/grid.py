@@ -32,7 +32,16 @@ def validate_grid(grid: np.ndarray) -> np.ndarray:
         raise ValueError(f"topology grid must be 2-D, got shape {arr.shape}")
     if arr.size == 0:
         raise ValueError("topology grid must be non-empty")
-    if not np.isin(arr, (0, 1)).all():
+    # Dtype-aware binary check: unsigned bytes only need an upper bound and
+    # booleans are binary by construction; everything else gets the general
+    # elementwise test (which also rejects fractional values and NaN).
+    if arr.dtype == np.uint8:
+        binary = bool((arr <= 1).all())
+    elif arr.dtype == np.bool_:
+        binary = True
+    else:
+        binary = bool(((arr == 0) | (arr == 1)).all())
+    if not binary:
         raise ValueError("topology grid entries must be 0 or 1")
     return arr.astype(np.uint8)
 

@@ -1,9 +1,17 @@
 """White-box 2D legal pattern assessment (design rules, constraints, solver)."""
 
+from .batched import (
+    BatchCompiledConstraints,
+    ChunkSolveOutcome,
+    solve_geometry_chunk,
+)
 from .compiled import (
     CompiledConstraints,
+    clear_compilation_cache,
+    compilation_cache_info,
     compile_constraints,
     compiled_for_topology,
+    set_compilation_cache_capacity,
 )
 from .constraints import (
     IntervalConstraint,
@@ -44,6 +52,12 @@ __all__ = [
     "CompiledConstraints",
     "compile_constraints",
     "compiled_for_topology",
+    "compilation_cache_info",
+    "clear_compilation_cache",
+    "set_compilation_cache_capacity",
+    "BatchCompiledConstraints",
+    "ChunkSolveOutcome",
+    "solve_geometry_chunk",
     "SOLVER_MODES",
     "SolverOptions",
     "GeometrySolution",

@@ -1,0 +1,609 @@
+"""Cross-topology batched legalization: whole-chunk sweeps, stacked verify.
+
+:class:`~repro.legalization.Legalizer` historically walked a chunk one
+topology at a time: every solve paid its own repair projection, its own
+largest-remainder rounding and its own exact integer verification — dozens
+of tiny numpy calls per topology, so the Python dispatch around the
+(already compiled) kernels dominated once the PR 5 fast path made each
+solve cheap.  This module stacks K topologies' compiled constraint systems
+into block-diagonal arrays with per-topology variable offsets and runs the
+whole chunk through a *constant number* of numpy passes:
+
+* **Whole-chunk repair sweep** — the scale/lift/round/verify projection of
+  ``solve_geometry`` evaluated simultaneously for all K topologies
+  (grouped by axis length so every row-wise reduction stays bit-identical
+  to the serial 1-D computation), partitioning the chunk into fast-path
+  successes and a residual tail in one pass.
+* **Block-diagonal SLSQP tail** — the residual topologies are solved in
+  restart rounds grouped by attempt number (so the restart RNG draws stay
+  per-index), and each round's continuous solutions are rounded and
+  integer-verified as one stacked pass over the block-diagonal system.
+
+Bit-identity contract
+---------------------
+The batched path must produce output **bit-identical** to the serial
+per-topology path for any chunk size, worker count and batch composition,
+in both ``auto`` and ``slsqp`` modes.  Three facts make that achievable:
+
+* Every topology owns an independent generator (``(seed, index)`` spawn
+  keys), so only the *per-generator* draw order matters — and the slot /
+  attempt loops below consume draws in exactly the serial order.
+* Row-wise reductions over a C-contiguous 2-D stack of *equal-length* rows
+  (``M.sum(axis=1)``, ``np.argsort(-R, axis=1)``) apply the identical
+  pairwise reduction / sort to each row as the serial 1-D calls do, so
+  grouping by exact axis length is bit-identical while zero-padding would
+  not be (see :mod:`repro.legalization.compiled`).
+* Integer verification is exact ``int64`` arithmetic — any grouping of the
+  block-diagonal system yields the same booleans.
+
+One thing deliberately stays per-topology: the scipy SLSQP call itself.
+Stacking K independent systems into a single ``minimize`` call would share
+one line search, one merit function and one ``ftol``/``maxiter``
+termination across blocks, coupling the iterates — the result would be
+close but **not** bit-identical to K separate solves.  The tail therefore
+batches everything around scipy (target assembly, restart grouping,
+stacked rounding and verification) and keeps the solver invocations
+per-topology, which is also where ~all of the tail's time is genuinely
+spent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .compiled import CompiledConstraints
+from .rules import DesignRules
+from .solver import (
+    SOLVER_MODES,
+    GeometrySolution,
+    SolverOptions,
+    _random_partition,
+    _round_preserving_sum,
+    _solve_once,
+)
+
+__all__ = [
+    "BatchCompiledConstraints",
+    "ChunkSolveOutcome",
+    "solve_geometry_chunk",
+]
+
+
+def _project_axis_rows(
+    targets: np.ndarray, lower: np.ndarray, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise ``solver._project_axis``: project every row of ``targets``
+    onto ``{v >= lower[row], sum(v) = total}``.
+
+    Returns ``(values, feasible)``; rows with ``feasible=False`` have no
+    projection (their ``values`` row is meaningless).  Every arithmetic step
+    mirrors the serial scalar computation elementwise, so feasible rows are
+    bit-identical to ``_project_axis`` on the same row.
+    """
+    slack = float(total) - lower.sum(axis=1)
+    t = np.maximum(targets, 1e-9)
+    scale = float(total) / t.sum(axis=1)
+    lifted = np.maximum(t * scale[:, None], lower)
+    free = lifted - lower
+    free_sum = free.sum(axis=1)
+    ratio = np.divide(
+        slack, free_sum, out=np.zeros_like(slack), where=free_sum > 0.0
+    )
+    values = lower + free * ratio[:, None]
+    on_bounds = free_sum <= 0.0
+    if on_bounds.any():
+        # Every entry sits on its bound; feasible only when the bounds
+        # already consume the whole window.
+        values[on_bounds] = lower[on_bounds]
+    feasible = (slack >= 0.0) & (~on_bounds | (slack == 0.0))
+    return values, feasible
+
+
+def _round_rows(values: np.ndarray, total: int) -> np.ndarray:
+    """Row-wise ``solver._round_preserving_sum`` (largest-remainder).
+
+    The deficit-positive branch vectorizes exactly: ``argsort(axis=1)``
+    runs the identical sort per row, and ranking positions below
+    ``deficit % n`` selects the same entries the serial cyclic walk
+    increments.  Deficit-negative rows (possible only for SLSQP tail
+    candidates far below their floors) fall back to the serial scalar
+    routine per row, keeping exact parity on its iterative give-back loop.
+    """
+    if values.shape[0] == 0:
+        return np.zeros(values.shape, dtype=np.int64)
+    fractional = np.floor(values)
+    floors = np.maximum(fractional.astype(np.int64), 1)
+    n = values.shape[1]
+    deficits = total - floors.sum(axis=1)
+    positive = deficits > 0
+    if positive.any():
+        remainders = values - fractional
+        order = np.argsort(-remainders, axis=1)
+        rank = np.empty_like(order)
+        np.put_along_axis(rank, order, np.broadcast_to(np.arange(n), order.shape), axis=1)
+        extra = np.where(positive, deficits, 0)
+        floors = floors + ((rank < (extra % n)[:, None]) & positive[:, None])
+        floors = floors + (extra // n)[:, None]
+    for row in np.nonzero(deficits < 0)[0]:
+        floors[row] = _round_preserving_sum(values[row], total)
+    return floors
+
+
+class BatchCompiledConstraints:
+    """K topologies' :class:`CompiledConstraints` stacked block-diagonally.
+
+    The stacked unknown vector concatenates every topology's
+    ``[delta_x, delta_y]`` block at offset ``var_offsets[i]``; all index
+    matrices below address that stacked vector directly.  Constraint groups
+    are merged **across** topologies by exact segment length / polygon cell
+    count, so one gather + row-sum evaluates the whole chunk's constraints
+    of that shape, and ``topology_ids`` maps violations back to blocks.
+    Instances are immutable in practice and cover every solution round and
+    restart attempt of one chunk solve.
+    """
+
+    def __init__(self, compiled: "list[CompiledConstraints]") -> None:
+        if not compiled:
+            raise ValueError("need at least one compiled constraint set")
+        rules = compiled[0].rules
+        for c in compiled:
+            if c.rules != rules:
+                raise ValueError(
+                    "all topologies in a batch must share one DesignRules set"
+                )
+        self.compiled = list(compiled)
+        self.rules = rules
+        self.k = len(self.compiled)
+        self.total = int(rules.pattern_size)
+        n_vars = np.array([c.n_vars for c in self.compiled], dtype=np.int64)
+        self.var_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(n_vars)]
+        )
+        self.n_stacked = int(self.var_offsets[-1])
+        col_counts = np.array([c.cols for c in self.compiled], dtype=np.int64)
+
+        #: ``(topology ids, axis length)`` per distinct axis length, ids
+        #: ascending — every dense per-axis pass (projection, rounding,
+        #: positivity/window checks) runs once per group on a (g, length)
+        #: row stack.
+        self.x_groups = self._axis_groups([c.cols for c in self.compiled])
+        self.y_groups = self._axis_groups([c.rows for c in self.compiled])
+        # Stacked-vector gather matrices for the per-axis integer checks.
+        self._x_index = [
+            (ids, self.var_offsets[ids][:, None] + np.arange(length))
+            for ids, length in self.x_groups
+        ]
+        self._y_index = [
+            (ids, (self.var_offsets[ids] + col_counts[ids])[:, None] + np.arange(length))
+            for ids, length in self.y_groups
+        ]
+
+        # Block-diagonal interval system, merged by segment length.  Parts
+        # are collected raw and offset/labelled with one vectorized pass per
+        # merged group — per-part ``+ offset`` arithmetic would dominate the
+        # chunk setup for large chunks.
+        interval_parts: dict[int, tuple[list, list, list, list]] = {}
+        for i, c in enumerate(self.compiled):
+            offset = int(self.var_offsets[i])
+            for positions, index_matrix in c._interval_groups:
+                part = interval_parts.setdefault(
+                    index_matrix.shape[1], ([], [], [], [])
+                )
+                part[0].append(index_matrix)
+                part[1].append(c.interval_minimums[positions])
+                part[2].append(i)
+                part[3].append(offset)
+        #: ``(index matrix, minimums, topology ids)`` per segment length.
+        self.interval_groups = []
+        for mats, mins, topo_idx, offs in interval_parts.values():
+            counts = np.array([m.shape[0] for m in mats], dtype=np.int64)
+            shifts = np.repeat(np.asarray(offs, dtype=np.int64), counts)
+            self.interval_groups.append(
+                (
+                    np.concatenate(mats) + shifts[:, None],
+                    np.concatenate(mins),
+                    np.repeat(np.asarray(topo_idx, dtype=np.int64), counts),
+                )
+            )
+
+        # Block-diagonal polygon-area system, merged by cell count.
+        poly_parts: dict[int, tuple[list, list, list, list]] = {}
+        for i, c in enumerate(self.compiled):
+            offset = int(self.var_offsets[i])
+            for positions, col_mat, row_mat in c._poly_groups:
+                part = poly_parts.setdefault(col_mat.shape[1], ([], [], [], []))
+                part[0].append(col_mat)
+                part[1].append(row_mat)
+                part[2].append(i)
+                part[3].append(offset)
+        #: ``(col matrix, row matrix, topology ids)`` per cell count.
+        self.poly_groups = []
+        for cols, rows, topo_idx, offs in poly_parts.values():
+            counts = np.array([m.shape[0] for m in cols], dtype=np.int64)
+            shifts = np.repeat(np.asarray(offs, dtype=np.int64), counts)
+            self.poly_groups.append(
+                (
+                    np.concatenate(cols) + shifts[:, None],
+                    np.concatenate(rows) + shifts[:, None],
+                    np.repeat(np.asarray(topo_idx, dtype=np.int64), counts),
+                )
+            )
+
+        self._repair_bounds_cache: dict[float, tuple[list, list]] = {}
+
+    @staticmethod
+    def _axis_groups(lengths: "list[int]") -> "list[tuple[np.ndarray, int]]":
+        values = np.asarray(lengths, dtype=np.int64)
+        return [
+            (np.nonzero(values == length)[0], int(length))
+            for length in np.unique(values)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _stacked_repair_bounds(self, floor: float) -> tuple[list, list]:
+        """Per-group ``(g, length)`` lower-bound stacks, cached per floor."""
+        key = float(floor)
+        cached = self._repair_bounds_cache.get(key)
+        if cached is not None:
+            return cached
+        bounds = [c.repair_lower_bounds(floor) for c in self.compiled]
+        stacked = (
+            [np.stack([bounds[i][0] for i in ids]) for ids, _ in self.x_groups],
+            [np.stack([bounds[i][1] for i in ids]) for ids, _ in self.y_groups],
+        )
+        self._repair_bounds_cache[key] = stacked
+        return stacked
+
+    # ------------------------------------------------------------------ #
+    def round_pairs(
+        self, candidates: "dict[int, tuple[np.ndarray, np.ndarray]]"
+    ) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
+        """Largest-remainder-round many float candidate pairs in one pass."""
+        member = np.zeros(self.k, dtype=bool)
+        member[list(candidates)] = True
+        rounded_x: dict[int, np.ndarray] = {}
+        rounded_y: dict[int, np.ndarray] = {}
+        for groups, part, out in (
+            (self.x_groups, 0, rounded_x),
+            (self.y_groups, 1, rounded_y),
+        ):
+            for ids, _ in groups:
+                selected = ids[member[ids]]
+                if not selected.size:
+                    continue
+                stack = np.stack([candidates[int(i)][part] for i in selected])
+                rounded = _round_rows(stack, self.total)
+                for row, i in enumerate(selected):
+                    out[int(i)] = rounded[row]
+        return {i: (rounded_x[i], rounded_y[i]) for i in candidates}
+
+    def verify_pairs(
+        self, pairs: "dict[int, tuple[np.ndarray, np.ndarray]]"
+    ) -> np.ndarray:
+        """Exact integer verification of many candidate pairs at once.
+
+        One stacked pass over the block-diagonal system; returns a length-K
+        boolean array (``False`` for topologies without a candidate).  All
+        arithmetic is ``int64``-exact, so every entry equals the serial
+        ``CompiledConstraints.verify_integer`` on that pair.
+        """
+        verified = np.zeros(self.k, dtype=bool)
+        if not pairs:
+            return verified
+        member = np.zeros(self.k, dtype=bool)
+        stacked = np.ones(self.n_stacked, dtype=np.int64)
+        for i, (dx, dy) in pairs.items():
+            offset = int(self.var_offsets[i])
+            c = self.compiled[i]
+            stacked[offset : offset + c.cols] = dx
+            stacked[offset + c.cols : offset + c.n_vars] = dy
+            member[i] = True
+            verified[i] = True
+        # Positivity + window-sum equality, per axis-length group.
+        for ids, index in self._x_index + self._y_index:
+            in_group = member[ids]
+            if not in_group.any():
+                continue
+            block = stacked[index[in_group]]
+            bad = (block <= 0).any(axis=1) | (block.sum(axis=1) != self.total)
+            verified[ids[in_group][bad]] = False
+        # Interval minimums over the merged block-diagonal groups.  Blocks
+        # without a candidate hold placeholder ones; masking violations by
+        # membership discards them.
+        for index, minimums, topo_ids in self.interval_groups:
+            sums = stacked[index].sum(axis=1)
+            violated = (sums < minimums) & member[topo_ids]
+            verified[topo_ids[violated]] = False
+        # Two-sided polygon-area windows.
+        for col_mat, row_mat, topo_ids in self.poly_groups:
+            areas = (stacked[col_mat] * stacked[row_mat]).sum(axis=1)
+            violated = (
+                (areas < self.rules.area_min) | (areas > self.rules.area_max)
+            ) & member[topo_ids]
+            verified[topo_ids[violated]] = False
+        return verified
+
+    # ------------------------------------------------------------------ #
+    def repair_sweep(
+        self,
+        targets_x: "list[np.ndarray]",
+        targets_y: "list[np.ndarray]",
+        options: SolverOptions,
+    ) -> "tuple[dict[int, tuple[np.ndarray, np.ndarray]], list[int]]":
+        """One vectorized whole-chunk repair pass over all K topologies.
+
+        Runs the serial repair projection (scale onto the sum equality, lift
+        onto the rounding-safe lower bounds, redistribute slack, round,
+        verify exactly) for the entire chunk in a constant number of numpy
+        passes.  Returns ``(solved, residual)``: ``solved`` maps topology
+        position to its bit-identical ``(delta_x, delta_y)`` fast-path pair;
+        ``residual`` lists the positions the projection could not legalise,
+        ascending — the SLSQP tail's work list.
+        """
+        bounds_x, bounds_y = self._stacked_repair_bounds(options.lower_bound)
+        feasible = np.ones(self.k, dtype=bool)
+        values_x: list = [None] * self.k
+        values_y: list = [None] * self.k
+        for groups, bounds, targets, values in (
+            (self.x_groups, bounds_x, targets_x, values_x),
+            (self.y_groups, bounds_y, targets_y, values_y),
+        ):
+            for (ids, _), lower in zip(groups, bounds):
+                stack = np.stack([targets[i] for i in ids])
+                projected, ok = _project_axis_rows(stack, lower, self.total)
+                feasible[ids] &= ok
+                for row, i in enumerate(ids):
+                    values[i] = projected[row]
+        pairs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        rounded_x: dict[int, np.ndarray] = {}
+        rounded_y: dict[int, np.ndarray] = {}
+        for groups, values, out in (
+            (self.x_groups, values_x, rounded_x),
+            (self.y_groups, values_y, rounded_y),
+        ):
+            for ids, _ in groups:
+                selected = ids[feasible[ids]]
+                if not selected.size:
+                    continue
+                rounded = _round_rows(
+                    np.stack([values[i] for i in selected]), self.total
+                )
+                for row, i in enumerate(selected):
+                    out[int(i)] = rounded[row]
+        for i in np.nonzero(feasible)[0]:
+            pairs[int(i)] = (rounded_x[int(i)], rounded_y[int(i)])
+        verified = self.verify_pairs(pairs)
+        solved = {i: pair for i, pair in pairs.items() if verified[i]}
+        residual = [i for i in range(self.k) if i not in solved]
+        return solved, residual
+
+    def objective_values(
+        self,
+        pairs: "dict[int, tuple[np.ndarray, np.ndarray]]",
+        targets_x: "list[np.ndarray]",
+        targets_y: "list[np.ndarray]",
+    ) -> "dict[int, float]":
+        """Least-squares objectives of many integer pairs in stacked passes.
+
+        The serial path dots one concatenated ``[delta_x, delta_y]`` diff
+        vector per solution; here every ``(rows, cols)`` shape group runs as
+        one batched 1xN @ Nx1 matmul, which invokes the same BLAS inner
+        product per row and is therefore bit-identical to the serial
+        ``diff @ diff`` (asserted by the batched-vs-serial test suite).
+        """
+        objectives: dict[int, float] = {}
+        if not pairs:
+            return objectives
+        by_shape: dict[tuple[int, int], list[int]] = {}
+        for i in pairs:
+            by_shape.setdefault(self.compiled[i].shape, []).append(i)
+        for ids in by_shape.values():
+            deltas = np.concatenate(
+                [
+                    np.stack([pairs[i][0] for i in ids]),
+                    np.stack([pairs[i][1] for i in ids]),
+                ],
+                axis=1,
+            ).astype(np.float64)
+            targets = np.concatenate(
+                [
+                    np.stack([targets_x[i] for i in ids]),
+                    np.stack([targets_y[i] for i in ids]),
+                ],
+                axis=1,
+            )
+            diffs = deltas - targets
+            dots = (diffs[:, None, :] @ diffs[:, :, None]).reshape(-1)
+            for row, i in enumerate(ids):
+                objectives[i] = float(dots[row]) / self.total
+        return objectives
+
+
+@dataclass
+class ChunkSolveOutcome:
+    """Solutions and batched-path counters for one chunk solve."""
+
+    #: Per topology position, one :class:`GeometrySolution` per requested
+    #: solution slot (success or failure), in slot order — exactly what the
+    #: serial per-topology loop would have produced.
+    solutions: "list[list[GeometrySolution]]" = field(default_factory=list)
+    #: Whole-chunk repair sweeps executed (one per solution round in auto).
+    sweeps: int = 0
+    #: Topologies covered by those sweeps (sum of sweep sizes).
+    sweep_topologies: int = 0
+    #: Per-topology SLSQP calls issued by the restart-round tail.
+    tail_solves: int = 0
+
+
+def solve_geometry_chunk(
+    compiled: "list[CompiledConstraints]",
+    rules: DesignRules,
+    rngs: "list[np.random.Generator]",
+    options: "SolverOptions | None" = None,
+    num_solutions: int = 1,
+    initial_targets=None,
+) -> ChunkSolveOutcome:
+    """Solve a whole chunk of topologies, bit-identical to serial solves.
+
+    ``rngs[i]`` is topology ``i``'s independent generator (the caller derives
+    it from ``(seed, first_index + i)``); ``initial_targets(i, rng)``, when
+    given, supplies the solution-0 warm-start targets (``Solving-E``) and may
+    consume draws from ``rng`` exactly as the serial target pick does.  Draw
+    order per generator matches the serial path: solution slots are the outer
+    loop, and within a slot the restart rounds draw fresh targets in attempt
+    order — so every topology sees the identical stream it would alone.
+    """
+    opts = options if options is not None else SolverOptions()
+    if opts.solver_mode not in SOLVER_MODES:
+        raise ValueError(
+            f"solver_mode must be one of {SOLVER_MODES}, got {opts.solver_mode!r}"
+        )
+    if len(rngs) != len(compiled):
+        raise ValueError("need exactly one generator per topology")
+    outcome = ChunkSolveOutcome(solutions=[[] for _ in compiled])
+    if not compiled:
+        return outcome
+    for c in compiled:
+        if c.rules != rules:
+            raise ValueError(
+                "compiled constraints were built for a different DesignRules set"
+            )
+    batch = BatchCompiledConstraints(compiled)
+    total = rules.pattern_size
+
+    for slot in range(num_solutions):
+        # Attempt-1 targets, drawn per topology in index order (the repair
+        # sweep consumes no extra draws and shares them with SLSQP attempt 1).
+        targets_x: list[np.ndarray] = []
+        targets_y: list[np.ndarray] = []
+        for i, c in enumerate(compiled):
+            tx = ty = None
+            if slot == 0 and initial_targets is not None:
+                tx, ty = initial_targets(i, rngs[i])
+            tx = (
+                np.asarray(tx, dtype=np.float64)
+                if tx is not None
+                else _random_partition(total, c.cols, rngs[i])
+            )
+            ty = (
+                np.asarray(ty, dtype=np.float64)
+                if ty is not None
+                else _random_partition(total, c.rows, rngs[i])
+            )
+            if tx.shape[0] != c.cols or ty.shape[0] != c.rows:
+                raise ValueError(
+                    f"target vectors have wrong length (need {c.cols} x-targets, "
+                    f"{c.rows} y-targets)"
+                )
+            targets_x.append(tx)
+            targets_y.append(ty)
+
+        pending = list(range(batch.k))
+        sweep_share = 0.0
+        if opts.solver_mode == "auto":
+            sweep_start = time.perf_counter()
+            solved, pending = batch.repair_sweep(targets_x, targets_y, opts)
+            sweep_share = (time.perf_counter() - sweep_start) / batch.k
+            outcome.sweeps += 1
+            outcome.sweep_topologies += batch.k
+            objectives = batch.objective_values(solved, targets_x, targets_y)
+            for i, (dx, dy) in solved.items():
+                outcome.solutions[i].append(
+                    GeometrySolution(
+                        success=True,
+                        delta_x=dx,
+                        delta_y=dy,
+                        iterations=0,
+                        elapsed_seconds=sweep_share,
+                        message="repaired",
+                        attempts=1,
+                        objective=objectives[i],
+                        method="repair",
+                    )
+                )
+
+        # Block-diagonal SLSQP tail: restart rounds grouped by attempt
+        # number.  scipy runs per topology (see module docstring), while the
+        # round's rounding + integer verification are one stacked pass.  The
+        # stacked system is rebuilt over the residual alone so each round
+        # scales with the tail, not the chunk (rounding is per-row and the
+        # verification is int64-exact, so the regrouping is bit-identical).
+        if pending and len(pending) < batch.k:
+            tail_batch = BatchCompiledConstraints([compiled[i] for i in pending])
+        else:
+            tail_batch = batch
+        tail_pos = {i: pos for pos, i in enumerate(pending)}
+        iterations = {i: 0 for i in pending}
+        seconds = {i: sweep_share for i in pending}
+        messages = {i: "" for i in pending}
+        active = list(pending)
+        for attempt in range(1, opts.max_attempts + 1):
+            if not active:
+                break
+            for i in active:
+                if attempt > 1:
+                    targets_x[i] = _random_partition(total, compiled[i].cols, rngs[i])
+                    targets_y[i] = _random_partition(total, compiled[i].rows, rngs[i])
+            converged: dict[int, dict] = {}
+            for i in active:
+                solve_start = time.perf_counter()
+                result = _solve_once(compiled[i], targets_x[i], targets_y[i], opts)
+                seconds[i] += time.perf_counter() - solve_start
+                outcome.tail_solves += 1
+                iterations[i] += result["iterations"]
+                if result["success"]:
+                    converged[i] = result
+                else:
+                    messages[i] = result["message"]
+            rounded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            verified = np.zeros(tail_batch.k, dtype=bool)
+            if converged:
+                stacked_start = time.perf_counter()
+                rounded_local = tail_batch.round_pairs(
+                    {
+                        tail_pos[i]: (r["delta_x"], r["delta_y"])
+                        for i, r in converged.items()
+                    }
+                )
+                verified = tail_batch.verify_pairs(rounded_local)
+                rounded = {i: rounded_local[tail_pos[i]] for i in converged}
+                stacked_share = (time.perf_counter() - stacked_start) / len(converged)
+                for i in converged:
+                    seconds[i] += stacked_share
+            still_active = []
+            for i in active:
+                if i in converged and verified[tail_pos[i]]:
+                    dx, dy = rounded[i]
+                    outcome.solutions[i].append(
+                        GeometrySolution(
+                            success=True,
+                            delta_x=dx,
+                            delta_y=dy,
+                            iterations=iterations[i],
+                            elapsed_seconds=seconds[i],
+                            message="converged",
+                            attempts=attempt,
+                            objective=converged[i]["objective"],
+                        )
+                    )
+                else:
+                    if i in converged:
+                        messages[i] = "rounded solution violated a constraint"
+                    still_active.append(i)
+            active = still_active
+        for i in active:
+            outcome.solutions[i].append(
+                GeometrySolution(
+                    success=False,
+                    delta_x=None,
+                    delta_y=None,
+                    iterations=iterations[i],
+                    elapsed_seconds=seconds[i],
+                    message=messages[i] or "no feasible solution found",
+                    attempts=max(opts.max_attempts, 0),
+                )
+            )
+    return outcome

@@ -53,7 +53,23 @@ from .solver import SolverOptions
 
 
 def default_workers() -> int:
-    """A sensible worker count for this host (capped to keep RAM bounded)."""
+    """A sensible worker count for this host (capped to keep RAM bounded).
+
+    The ``REPRO_WORKERS`` environment variable (a positive integer)
+    overrides the heuristic, so container deployments can size the pool
+    without code changes.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"REPRO_WORKERS must be a positive integer, got {env!r}")
+        return workers
     return max(1, min(8, os.cpu_count() or 1))
 
 
@@ -120,6 +136,10 @@ class LegalizationReport:
             f"{self.stats.total_iterations} solver iteration(s)",
             f"  fast path        {self.stats.fast_path_solutions}/{self.stats.solutions} "
             f"solution(s) via repair ({self.stats.fast_path_fraction:.0%})",
+            f"  batched          {self.stats.batched_sweeps} whole-chunk sweep(s) "
+            f"over {self.stats.batched_sweep_topologies} topologies "
+            f"(mean {self.stats.batched_sweep_mean_size:.1f}), "
+            f"{self.stats.batched_tail_solves} SLSQP tail solve(s)",
         ]
         return "\n".join(lines)
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..squish import SquishPattern
 from ..utils import as_rng, child_rng, resolve_seed
+from .batched import solve_geometry_chunk
 from .compiled import compiled_for_topology
 from .rules import DesignRules
 from .solver import GeometrySolution, SolverOptions, solve_geometry
@@ -32,6 +33,14 @@ class LegalizationStats:
     #: How many of ``solutions`` the repair-first projection produced without
     #: an SLSQP call (always 0 under ``solver_mode="slsqp"``).
     fast_path_solutions: int = 0
+    #: Whole-chunk vectorized repair sweeps run by the batched path (one per
+    #: solution round per chunk under ``solver_mode="auto"``).
+    batched_sweeps: int = 0
+    #: Topologies covered by those sweeps (sum of sweep sizes); divide by
+    #: ``batched_sweeps`` for the mean sweep width.
+    batched_sweep_topologies: int = 0
+    #: Per-topology SLSQP calls issued by the batched restart-round tail.
+    batched_tail_solves: int = 0
 
     @property
     def average_time_per_solution(self) -> float:
@@ -46,6 +55,15 @@ class LegalizationStats:
         """Fraction of solutions legalised by the repair fast path."""
         return self.fast_path_solutions / self.solutions if self.solutions else 0.0
 
+    @property
+    def batched_sweep_mean_size(self) -> float:
+        """Mean number of topologies per whole-chunk repair sweep."""
+        return (
+            self.batched_sweep_topologies / self.batched_sweeps
+            if self.batched_sweeps
+            else 0.0
+        )
+
     def merge(self, other: "LegalizationStats") -> "LegalizationStats":
         """Fold another stats block into this one (shard aggregation)."""
         self.attempted += other.attempted
@@ -55,6 +73,9 @@ class LegalizationStats:
         self.total_iterations += other.total_iterations
         self.solutions += other.solutions
         self.fast_path_solutions += other.fast_path_solutions
+        self.batched_sweeps += other.batched_sweeps
+        self.batched_sweep_topologies += other.batched_sweep_topologies
+        self.batched_tail_solves += other.batched_tail_solves
         return self
 
 
@@ -252,8 +273,18 @@ class Legalizer:
         a single topology at the same index reproduces its batch result, and
         the :class:`~repro.legalization.LegalizationEngine` gets element-wise
         identical output for any sharding of the same batch.
+
+        When ``options.batch_solve`` is set (the default) the whole chunk is
+        legalised through the cross-topology batched path
+        (:mod:`repro.legalization.batched`) — bit-identical output, constant
+        number of numpy passes per sweep.  ``batch_solve=False`` walks the
+        per-topology reference path instead.
         """
         base_seed = resolve_seed(rng)
+        if self.options.batch_solve:
+            return self._legalize_batch_batched(
+                topologies, num_solutions, base_seed, first_index
+            )
         return [
             self.legalize_topology(
                 topology,
@@ -262,6 +293,69 @@ class Legalizer:
             )
             for position, topology in enumerate(topologies)
         ]
+
+    def _legalize_batch_batched(
+        self,
+        topologies: "np.ndarray | list[np.ndarray]",
+        num_solutions: int,
+        base_seed: int,
+        first_index: int,
+    ) -> list[LegalizedTopology]:
+        """Chunk entry of the batched path; same stats/output as serial."""
+        batch = [np.asarray(topology) for topology in topologies]
+        if not batch:
+            return []
+        rngs = [
+            child_rng(base_seed, first_index + position)
+            for position in range(len(batch))
+        ]
+        compiled = [compiled_for_topology(topology, self.rules) for topology in batch]
+
+        def initial_targets(position: int, rng: np.random.Generator):
+            # Mirrors the serial per-topology warm-start pick exactly,
+            # including its RNG draw (one uniform when candidates exist).
+            if not self.reference_geometries:
+                return None, None
+            return self._pick_targets(compiled[position].shape, rng)
+
+        outcome = solve_geometry_chunk(
+            compiled,
+            self.rules,
+            rngs,
+            options=self.options,
+            num_solutions=num_solutions,
+            initial_targets=initial_targets,
+        )
+        self.stats.batched_sweeps += outcome.sweeps
+        self.stats.batched_sweep_topologies += outcome.sweep_topologies
+        self.stats.batched_tail_solves += outcome.tail_solves
+
+        results: list[LegalizedTopology] = []
+        for topology, slots in zip(batch, outcome.solutions):
+            result = LegalizedTopology(topology=topology.astype(np.uint8))
+            self.stats.attempted += 1
+            for solution in slots:
+                self.stats.total_solver_time += solution.elapsed_seconds
+                self.stats.total_iterations += solution.iterations
+                if not solution.success:
+                    continue
+                self.stats.solutions += 1
+                if solution.method == "repair":
+                    self.stats.fast_path_solutions += 1
+                result.solutions.append(solution)
+                result.patterns.append(
+                    SquishPattern(
+                        topology=topology.astype(np.uint8),
+                        delta_x=solution.delta_x,
+                        delta_y=solution.delta_y,
+                    )
+                )
+            if result.solved:
+                self.stats.solved += 1
+            else:
+                self.stats.failed += 1
+            results.append(result)
+        return results
 
     def legal_patterns(
         self,

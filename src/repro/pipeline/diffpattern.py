@@ -269,7 +269,13 @@ class DiffPatternPipeline:
         # The dataset is compared by identity (and retained, so a freed
         # object's address can never alias it); dataclass equality would
         # compare whole pattern arrays.
-        key = (use_reference_geometries, workers, chunk_size, self.config.solver_mode)
+        key = (
+            use_reference_geometries,
+            workers,
+            chunk_size,
+            self.config.solver_mode,
+            self.config.batch_solve,
+        )
         if (
             self._legalization_engine is None
             or self._legalization_engine_dataset is not self.dataset
@@ -283,7 +289,10 @@ class DiffPatternPipeline:
             self._legalization_engine = LegalizationEngine(
                 self.config.rules,
                 reference_geometries=references,
-                options=SolverOptions(solver_mode=self.config.solver_mode),
+                options=SolverOptions(
+                    solver_mode=self.config.solver_mode,
+                    batch_solve=self.config.batch_solve,
+                ),
                 workers=workers,
                 chunk_size=chunk_size,
             )

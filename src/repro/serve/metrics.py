@@ -13,6 +13,13 @@ accumulates the four signals the ISSUE's serving contract names:
 * **queue depth** — requests admitted but not yet finished (the value the
   backpressure bound caps).
 
+PR 8 adds the **legalization** signals: aggregated
+:class:`~repro.legalization.LegalizationStats` counters per generated chunk
+(fast-path fraction, batched sweep sizes, SLSQP tail volume) plus the
+process-local ``compilation_cache_info()`` hits/misses, so the solver's
+production ceiling is visible from ``/metrics`` instead of only from
+offline benchmark reports.
+
 All mutators take an internal lock: the service's worker updates from the
 event loop while the executor thread serving a cached short-circuit updates
 concurrently.  :meth:`snapshot` returns plain floats/ints, ready for JSON.
@@ -22,6 +29,8 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+
+from ..legalization import compilation_cache_info
 
 __all__ = ["ServeMetrics"]
 
@@ -50,6 +59,13 @@ class ServeMetrics:
         self.samples_generated = 0
         self.samples_cached = 0
         self.queue_depth = 0
+        self.legalize_attempted = 0
+        self.legalize_solved = 0
+        self.legalize_solutions = 0
+        self.legalize_fast_path_solutions = 0
+        self.legalize_batched_sweeps = 0
+        self.legalize_batched_sweep_topologies = 0
+        self.legalize_batched_tail_solves = 0
 
     # ------------------------------------------------------------------ #
     # recording
@@ -87,6 +103,17 @@ class ServeMetrics:
         with self._lock:
             self.samples_cached += int(num_samples)
 
+    def record_legalization(self, stats) -> None:
+        """Fold one chunk's :class:`~repro.legalization.LegalizationStats` in."""
+        with self._lock:
+            self.legalize_attempted += stats.attempted
+            self.legalize_solved += stats.solved
+            self.legalize_solutions += stats.solutions
+            self.legalize_fast_path_solutions += stats.fast_path_solutions
+            self.legalize_batched_sweeps += stats.batched_sweeps
+            self.legalize_batched_sweep_topologies += stats.batched_sweep_topologies
+            self.legalize_batched_tail_solves += stats.batched_tail_solves
+
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
@@ -115,4 +142,21 @@ class ServeMetrics:
                 "samples_generated": self.samples_generated,
                 "samples_cached": self.samples_cached,
                 "cache_hit_rate": (self.samples_cached / served) if served else 0.0,
+                "legalize_attempted": self.legalize_attempted,
+                "legalize_solved": self.legalize_solved,
+                "legalize_solutions": self.legalize_solutions,
+                "legalize_fast_path_fraction": (
+                    self.legalize_fast_path_solutions / self.legalize_solutions
+                    if self.legalize_solutions
+                    else 0.0
+                ),
+                "legalize_batched_sweeps": self.legalize_batched_sweeps,
+                "legalize_batched_sweep_size_mean": (
+                    self.legalize_batched_sweep_topologies
+                    / self.legalize_batched_sweeps
+                    if self.legalize_batched_sweeps
+                    else 0.0
+                ),
+                "legalize_batched_tail_solves": self.legalize_batched_tail_solves,
+                "compile_cache": compilation_cache_info(),
             }

@@ -334,6 +334,7 @@ class GenerationService:
                 1 for t in live if t.start < chunk.end and t.end > chunk.start
             )
             self.metrics.record_batch(chunk.size, occupancy)
+            self.metrics.record_legalization(chunk.legalization_report.stats)
             remaining = []
             for ticket in live:
                 self._deliver_chunk(ticket, chunk)

@@ -1,0 +1,451 @@
+"""Bit-identity and kernel tests for cross-topology batched legalization.
+
+The batched path (``SolverOptions.batch_solve``, the default) legalises a
+whole chunk through :mod:`repro.legalization.batched`: one vectorized repair
+sweep partitions the chunk into fast-path successes and a residual tail,
+and the tail's SLSQP restart rounds share stacked rounding + verification.
+Its contract is *bit-identity* with the serial per-topology reference path
+for any chunk size, worker count and batch composition, in both ``auto``
+and ``slsqp`` modes — asserted element-wise here on adversarial batches
+(mixed shapes, duplicates, unsolvable topologies, multi-solution runs,
+warm-start references, restart-heavy rule sets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.legalization import (
+    BatchCompiledConstraints,
+    DesignRules,
+    LegalizationEngine,
+    LegalizationStats,
+    Legalizer,
+    SolverOptions,
+    clear_compilation_cache,
+    compilation_cache_info,
+    compiled_for_topology,
+    default_workers,
+    set_compilation_cache_capacity,
+)
+from repro.legalization.batched import _project_axis_rows, _round_rows
+from repro.legalization.solver import _project_axis, _round_preserving_sum
+from repro.serve.metrics import ServeMetrics
+
+
+def _blocky(rows, cols, blocks):
+    grid = np.zeros((rows, cols), dtype=np.uint8)
+    for r0, r1, c0, c1 in blocks:
+        grid[r0:r1, c0:c1] = 1
+    return grid
+
+
+@pytest.fixture(scope="module")
+def adversarial_batch(two_shape_topology):
+    """Mixed shapes, duplicates, and an unsolvable all-ones topology.
+
+    The all-ones grid is a single polygon covering the whole window, whose
+    area (``pattern_size**2``) exceeds ``area_max`` under the default rules
+    — every solver path must fail it, exercising the failure bookkeeping.
+    """
+    other = _blocky(8, 8, [(2, 5, 3, 6)])
+    tall = _blocky(10, 6, [(2, 5, 1, 4)])
+    wide = _blocky(8, 8, [(1, 3, 1, 7)])
+    unsolvable = np.ones((4, 4), dtype=np.uint8)
+    return [two_shape_topology, other, unsolvable, tall, two_shape_topology, other, wide]
+
+
+def full_signatures(results):
+    """Element-wise outcome of a legalisation run, timing excluded."""
+    out = []
+    for result in results:
+        solutions = tuple(
+            (
+                s.success,
+                s.attempts,
+                s.iterations,
+                s.method,
+                s.message,
+                s.objective,
+                tuple(s.delta_x.tolist()),
+                tuple(s.delta_y.tolist()),
+            )
+            for s in result.solutions
+        )
+        patterns = tuple(
+            (tuple(p.delta_x.tolist()), tuple(p.delta_y.tolist()))
+            for p in result.patterns
+        )
+        out.append((solutions, patterns))
+    return out
+
+
+def run_engine(
+    rules,
+    batch,
+    *,
+    mode="auto",
+    batch_solve=True,
+    num_solutions=1,
+    workers=1,
+    chunk=None,
+    refs=None,
+    seed=7,
+):
+    engine = LegalizationEngine(
+        rules,
+        reference_geometries=refs,
+        options=SolverOptions(solver_mode=mode, batch_solve=batch_solve),
+        workers=workers,
+        chunk_size=chunk,
+    )
+    return engine.legalize_batch(batch, num_solutions=num_solutions, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity: batched vs serial reference path
+# --------------------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", ["auto", "slsqp"])
+    @pytest.mark.parametrize("chunk", [1, 7, 64])
+    def test_any_chunk_size_matches_serial(self, rules, adversarial_batch, mode, chunk):
+        serial = run_engine(rules, adversarial_batch, mode=mode, batch_solve=False)
+        batched = run_engine(
+            rules, adversarial_batch, mode=mode, batch_solve=True, chunk=chunk
+        )
+        assert full_signatures(batched) == full_signatures(serial)
+
+    @pytest.mark.parametrize("mode", ["auto", "slsqp"])
+    def test_two_workers_match_serial(self, rules, adversarial_batch, mode):
+        serial = run_engine(rules, adversarial_batch, mode=mode, batch_solve=False)
+        batched = run_engine(
+            rules, adversarial_batch, mode=mode, batch_solve=True, workers=2, chunk=2
+        )
+        assert full_signatures(batched) == full_signatures(serial)
+
+    @pytest.mark.parametrize("mode", ["auto", "slsqp"])
+    def test_multi_solution_diffpattern_l(self, rules, adversarial_batch, mode):
+        serial = run_engine(
+            rules, adversarial_batch, mode=mode, batch_solve=False, num_solutions=3
+        )
+        batched = run_engine(
+            rules, adversarial_batch, mode=mode, batch_solve=True,
+            num_solutions=3, chunk=3,
+        )
+        assert full_signatures(batched) == full_signatures(serial)
+
+    def test_warm_start_references(self, rules, adversarial_batch):
+        rng = np.random.default_rng(5)
+        refs = [
+            (
+                rng.dirichlet(np.full(8, 2.0)) * rules.pattern_size,
+                rng.dirichlet(np.full(8, 2.0)) * rules.pattern_size,
+            )
+            for _ in range(3)
+        ]
+        serial = run_engine(
+            rules, adversarial_batch, batch_solve=False, refs=refs, num_solutions=2
+        )
+        batched = run_engine(
+            rules, adversarial_batch, batch_solve=True, refs=refs,
+            num_solutions=2, chunk=3,
+        )
+        assert full_signatures(batched) == full_signatures(serial)
+
+    @pytest.mark.parametrize("mode", ["auto", "slsqp"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_restart_heavy_tail(self, mode, seed):
+        # A tight area window the repair projection cannot satisfy: every
+        # solvable topology goes through the SLSQP tail, and restart rounds
+        # (fresh per-index target draws) fire for the hard cases.
+        rules = DesignRules(area_min=3_000, area_max=9_000, pattern_size=2_048)
+        hard = _blocky(8, 8, [(3, 5, 3, 5)])
+        bigger = _blocky(8, 8, [(2, 6, 2, 6)])
+        batch = [hard, bigger, hard, np.ones((4, 4), dtype=np.uint8)]
+        serial = run_engine(rules, batch, mode=mode, batch_solve=False, seed=seed)
+        batched = run_engine(rules, batch, mode=mode, batch_solve=True, seed=seed)
+        assert full_signatures(batched) == full_signatures(serial)
+
+    def test_tail_actually_fires(self):
+        rules = DesignRules(area_min=3_000, area_max=9_000, pattern_size=2_048)
+        batch = [_blocky(8, 8, [(3, 5, 3, 5)])] * 3
+        engine = LegalizationEngine(rules, options=SolverOptions(solver_mode="auto"))
+        engine.legalize_batch(batch, seed=0)
+        assert engine.stats.batched_sweeps > 0
+        assert engine.stats.batched_tail_solves > 0
+
+    def test_empty_batch(self, rules):
+        legalizer = Legalizer(rules)
+        assert legalizer.legalize_batch([]) == []
+
+
+# --------------------------------------------------------------------------- #
+# vectorized kernels vs their serial scalar oracles
+# --------------------------------------------------------------------------- #
+class TestRoundingKernel:
+    def test_matches_scalar_oracle(self):
+        rng = np.random.default_rng(42)
+        total = 2048
+        for n in (3, 8, 16):
+            rows = [rng.dirichlet(np.full(n, 2.0)) * total for _ in range(40)]
+            # Adversarial ties: equal entries everywhere, and .5 remainders.
+            rows.append(np.full(n, total / n))
+            rows.append(np.floor(rng.dirichlet(np.full(n, 2.0)) * total) + 0.5)
+            stacked = np.stack(rows)
+            rounded = _round_rows(stacked, total)
+            for got, values in zip(rounded, stacked):
+                np.testing.assert_array_equal(
+                    got, _round_preserving_sum(values, total)
+                )
+
+    def test_negative_deficit_rows_match_oracle(self):
+        total = 100
+        stacked = np.stack(
+            [
+                np.array([60.9, 55.2, 40.7, 3.1]),   # floors overshoot the sum
+                np.array([20.2, 30.3, 25.4, 24.5]),  # ordinary positive deficit
+                np.array([25.0, 25.0, 25.0, 25.0]),  # zero deficit
+            ]
+        )
+        rounded = _round_rows(stacked, total)
+        for got, values in zip(rounded, stacked):
+            np.testing.assert_array_equal(got, _round_preserving_sum(values, total))
+        assert (rounded.sum(axis=1) == total).all()
+
+    def test_empty_input(self):
+        assert _round_rows(np.empty((0, 5)), 100).shape == (0, 5)
+
+
+class TestProjectionKernel:
+    def test_matches_scalar_oracle(self, rules, two_shape_topology):
+        compiled = compiled_for_topology(two_shape_topology, rules)
+        lb_x, _ = compiled.repair_lower_bounds(4.0)
+        total = rules.pattern_size
+        rng = np.random.default_rng(3)
+        rows = [rng.dirichlet(np.full(lb_x.size, 2.0)) * total for _ in range(20)]
+        values, feasible = _project_axis_rows(
+            np.stack(rows), np.stack([lb_x] * len(rows)), total
+        )
+        for i, target in enumerate(rows):
+            expected = _project_axis(target, lb_x, total)
+            assert feasible[i] == (expected is not None)
+            if expected is not None:
+                np.testing.assert_array_equal(values[i], expected)
+
+    def test_infeasible_and_on_bound_rows(self):
+        total = 100
+        lower_infeasible = np.full(4, 30.0)  # bounds alone exceed the window
+        lower_tight = np.full(4, 25.0)       # bounds consume it exactly
+        targets = np.stack([np.full(4, 25.0), np.full(4, 25.0)])
+        lowers = np.stack([lower_infeasible, lower_tight])
+        values, feasible = _project_axis_rows(targets, lowers, total)
+        assert not feasible[0]
+        assert feasible[1]
+        assert _project_axis(targets[0], lower_infeasible, total) is None
+        np.testing.assert_array_equal(
+            values[1], _project_axis(targets[1], lower_tight, total)
+        )
+
+
+class TestBatchVerify:
+    def test_matches_per_topology_verify(self, rules, adversarial_batch):
+        compiled = [compiled_for_topology(t, rules) for t in adversarial_batch]
+        batch = BatchCompiledConstraints(compiled)
+        pairs = {}
+        for i, c in enumerate(compiled):
+            dx = np.full(c.cols, rules.pattern_size // c.cols, dtype=np.int64)
+            dx[0] += rules.pattern_size - dx.sum()
+            dy = np.full(c.rows, rules.pattern_size // c.rows, dtype=np.int64)
+            dy[0] += rules.pattern_size - dy.sum()
+            if i % 3 == 1:
+                dx[0] -= 17  # break the window-sum equality
+            if i % 3 == 2:
+                dx[-1] = -5  # break positivity
+            pairs[i] = (dx, dy)
+        verified = batch.verify_pairs(pairs)
+        for i, c in enumerate(compiled):
+            assert bool(verified[i]) == c.verify_integer(*pairs[i])
+
+    def test_subset_and_empty(self, rules, adversarial_batch):
+        compiled = [compiled_for_topology(t, rules) for t in adversarial_batch]
+        batch = BatchCompiledConstraints(compiled)
+        assert not batch.verify_pairs({}).any()
+        c = compiled[0]
+        dx = np.full(c.cols, rules.pattern_size // c.cols, dtype=np.int64)
+        dx[0] += rules.pattern_size - dx.sum()
+        dy = np.full(c.rows, rules.pattern_size // c.rows, dtype=np.int64)
+        dy[0] += rules.pattern_size - dy.sum()
+        verified = batch.verify_pairs({0: (dx, dy)})
+        assert bool(verified[0]) == c.verify_integer(dx, dy)
+        assert not verified[1:].any()
+
+    def test_rejects_mixed_rules(self, rules, two_shape_topology):
+        a = compiled_for_topology(two_shape_topology, rules)
+        b = compiled_for_topology(two_shape_topology, rules.with_space_min(96))
+        with pytest.raises(ValueError):
+            BatchCompiledConstraints([a, b])
+
+
+# --------------------------------------------------------------------------- #
+# stats counters and report surfacing
+# --------------------------------------------------------------------------- #
+class TestStatsAndCounters:
+    def test_auto_mode_counters(self, rules, adversarial_batch):
+        engine = LegalizationEngine(
+            rules, options=SolverOptions(solver_mode="auto"), chunk_size=3
+        )
+        _, report = engine.legalize_batch_with_report(
+            adversarial_batch, num_solutions=2, seed=0
+        )
+        # One sweep per chunk per solution round, covering every topology.
+        assert report.stats.batched_sweeps == report.num_chunks * 2
+        assert report.stats.batched_sweep_topologies == len(adversarial_batch) * 2
+        assert report.stats.fast_path_solutions > 0
+        assert report.stats.batched_sweep_mean_size == pytest.approx(
+            len(adversarial_batch) / report.num_chunks
+        )
+        assert "batched" in report.format()
+
+    def test_slsqp_mode_has_no_sweeps(self, rules, adversarial_batch):
+        engine = LegalizationEngine(rules, options=SolverOptions(solver_mode="slsqp"))
+        engine.legalize_batch(adversarial_batch, seed=0)
+        assert engine.stats.batched_sweeps == 0
+        assert engine.stats.batched_tail_solves >= len(adversarial_batch)
+
+    def test_serial_path_counters_stay_zero(self, rules, adversarial_batch):
+        engine = LegalizationEngine(rules, options=SolverOptions(batch_solve=False))
+        engine.legalize_batch(adversarial_batch, seed=0)
+        assert engine.stats.batched_sweeps == 0
+        assert engine.stats.batched_sweep_topologies == 0
+        assert engine.stats.batched_tail_solves == 0
+
+    def test_merge_folds_batched_counters(self):
+        a = LegalizationStats(
+            batched_sweeps=1, batched_sweep_topologies=4, batched_tail_solves=2
+        )
+        b = LegalizationStats(
+            batched_sweeps=2, batched_sweep_topologies=6, batched_tail_solves=1
+        )
+        a.merge(b)
+        assert a.batched_sweeps == 3
+        assert a.batched_sweep_topologies == 10
+        assert a.batched_tail_solves == 3
+        assert a.batched_sweep_mean_size == pytest.approx(10 / 3)
+
+
+# --------------------------------------------------------------------------- #
+# satellites: env overrides, cache capacity, serve metrics, knob routing
+# --------------------------------------------------------------------------- #
+class TestWorkersEnvOverride:
+    def test_env_sets_default_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert default_workers() == 5
+
+    def test_without_env_uses_heuristic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert 1 <= default_workers() <= 8
+
+    @pytest.mark.parametrize("bad", ["zero", "0", "-2"])
+    def test_invalid_env_raises(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError):
+            default_workers()
+
+
+@pytest.fixture
+def restore_cache_capacity(monkeypatch):
+    yield monkeypatch
+    monkeypatch.delenv("REPRO_COMPILE_CACHE", raising=False)
+    clear_compilation_cache()
+    set_compilation_cache_capacity(None)
+
+
+class TestCompileCacheCapacity:
+    def test_capacity_evicts_lru(self, rules, restore_cache_capacity):
+        clear_compilation_cache()
+        set_compilation_cache_capacity(2)
+        grids = [_blocky(8, 8, [(1, 1 + i, 1, 4)]) for i in range(1, 5)]
+        for grid in grids:
+            compiled_for_topology(grid, rules)
+        info = compilation_cache_info()
+        assert info["size"] == 2
+        assert info["capacity"] == 2
+        assert info["misses"] == 4
+
+    def test_env_var_sets_capacity(self, rules, restore_cache_capacity):
+        restore_cache_capacity.setenv("REPRO_COMPILE_CACHE", "3")
+        assert set_compilation_cache_capacity(None) == 3
+        assert compilation_cache_info()["capacity"] == 3
+
+    def test_malformed_env_raises_on_explicit_resize(self, restore_cache_capacity):
+        restore_cache_capacity.setenv("REPRO_COMPILE_CACHE", "lots")
+        with pytest.raises(ValueError):
+            set_compilation_cache_capacity(None)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_compilation_cache_capacity(0)
+
+
+class TestServeMetricsLegalization:
+    def test_record_and_snapshot(self):
+        metrics = ServeMetrics()
+        stats = LegalizationStats(
+            attempted=4,
+            solved=3,
+            failed=1,
+            solutions=5,
+            fast_path_solutions=4,
+            batched_sweeps=2,
+            batched_sweep_topologies=8,
+            batched_tail_solves=3,
+        )
+        metrics.record_legalization(stats)
+        metrics.record_legalization(stats)
+        snapshot = metrics.snapshot()
+        assert snapshot["legalize_attempted"] == 8
+        assert snapshot["legalize_solved"] == 6
+        assert snapshot["legalize_solutions"] == 10
+        assert snapshot["legalize_fast_path_fraction"] == pytest.approx(0.8)
+        assert snapshot["legalize_batched_sweeps"] == 4
+        assert snapshot["legalize_batched_sweep_size_mean"] == pytest.approx(4.0)
+        assert snapshot["legalize_batched_tail_solves"] == 6
+        assert set(snapshot["compile_cache"]) == {"hits", "misses", "size", "capacity"}
+
+    def test_empty_snapshot_has_legalization_keys(self):
+        snapshot = ServeMetrics().snapshot()
+        assert snapshot["legalize_attempted"] == 0
+        assert snapshot["legalize_fast_path_fraction"] == 0.0
+        assert snapshot["legalize_batched_sweep_size_mean"] == 0.0
+
+
+class TestKnobRouting:
+    def test_config_defaults_to_batched(self):
+        from repro.pipeline import DiffPatternConfig
+
+        assert DiffPatternConfig.tiny().batch_solve is True
+
+    def test_scenario_engine_section_lowers_bool(self):
+        from repro.scenarios import builtin_registry
+
+        spec = builtin_registry().resolve("smoke")
+        plan = spec.with_overrides({"engine": {"batch_solve": False}}).lower()
+        assert plan.config.batch_solve is False
+        assert "batch_solve=off" in plan.summary()
+        assert spec.lower().config.batch_solve is True
+
+    def test_cli_flag_round_trip(self):
+        from repro.cli import _overrides_from, build_parser
+
+        args = build_parser().parse_args(
+            ["generate", "--scenario", "smoke", "--batch-solve", "off"]
+        )
+        overrides = _overrides_from(args)
+        assert overrides["engine"]["batch_solve"] is False
+        args = build_parser().parse_args(["generate", "--scenario", "smoke"])
+        assert "engine" not in _overrides_from(args)
+
+    def test_knob_overrides_tristate(self):
+        from repro.cli import knob_overrides
+
+        assert knob_overrides(batch_solve=True) == {"engine": {"batch_solve": True}}
+        assert knob_overrides() == {}
