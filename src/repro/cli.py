@@ -10,7 +10,10 @@ Subcommands:
 * ``resume``          — continue a killed ``generate --out`` run from its
   manifest; completed chunks are folded from disk, never re-generated.
 * ``inspect-library`` — summarise an on-disk library (chunks, patterns,
-  unique topologies, diversity H, legality, per-chunk accounting).
+  unique topologies, diversity H, legality, per-chunk accounting) and run
+  indexed queries (``--band``/``--topology``/``--regime``/``--from-writer``).
+* ``compact-library`` — merge small shards, drop superseded duplicates and
+  rebuild the on-disk index; migrates a v1 library to the sharded v2 layout.
 * ``bench``           — run a scenario and report per-stage throughput
   (sampling, legalization, graph), optionally as machine-readable JSON.
 * ``serve``           — run the long-lived generation daemon: concurrent
@@ -108,6 +111,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--dedup", action="store_true",
         help="skip exact-duplicate patterns when persisting with --out",
     )
+    parser.add_argument(
+        "--writer", default=None, metavar="ID",
+        help="writer id for --out: opens the library in the sharded v2 "
+        "layout so several producers can append to one library "
+        "concurrently (each writer keeps its own manifest ledger)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,9 +160,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_ins = sub.add_parser("inspect-library", help="summarise an on-disk pattern library")
-    p_ins.add_argument("library", type=Path, help="library directory (holds manifest.json)")
+    p_ins.add_argument(
+        "library", type=Path,
+        help="library directory (holds manifest.json or manifests/)",
+    )
     p_ins.add_argument(
         "--chunks", action="store_true", help="print the per-chunk accounting table"
+    )
+    p_ins.add_argument(
+        "--band", default=None, metavar="LO:HI",
+        help="query: inclusive complexity band on cx+cy (either end may be "
+        "empty, e.g. ':24' or '16:')",
+    )
+    p_ins.add_argument(
+        "--topology", default=None, metavar="HASH",
+        help="query: exact topology hash (sha1 hex)",
+    )
+    p_ins.add_argument(
+        "--regime", default=None, metavar="SUBSTR",
+        help="query: substring matched against the owning run's rule/"
+        "fingerprint regime (e.g. 'space_min.: 2')",
+    )
+    p_ins.add_argument(
+        "--from-writer", default=None, metavar="ID",
+        help="query: only patterns appended by this writer",
+    )
+    p_ins.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="print at most N query matches (default 20)",
+    )
+
+    p_cmp = sub.add_parser(
+        "compact-library",
+        help="merge small shards, drop superseded duplicates, rebuild the "
+        "index (migrates a v1 library to the sharded v2 layout)",
+    )
+    p_cmp.add_argument("library", type=Path, help="library directory")
+    p_cmp.add_argument(
+        "--target-shard-patterns", type=int, default=512, metavar="N",
+        help="pack merged shards up to N patterns each (default 512)",
+    )
+    p_cmp.add_argument(
+        "--keep-duplicates", action="store_true",
+        help="never drop patterns, even when the library was written with "
+        "dedup (compaction then only merges shards and rebuilds the index)",
     )
 
     p_bench = sub.add_parser(
@@ -183,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-batch", type=int, default=64, metavar="N",
         help="largest coalesced sampling/legalization batch (memory knob)",
+    )
+    p_serve.add_argument(
+        "--library", type=Path, default=None, metavar="DIR",
+        help="pattern-library directory backing the serve cache: generated "
+        "chunks are persisted per stream writer and restored on restart",
     )
     return parser
 
@@ -317,7 +372,9 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _execute_plan(plan: RunPlan, out: "Path | None", resume: bool) -> tuple:
+def _execute_plan(
+    plan: RunPlan, out: "Path | None", resume: bool, writer: "str | None" = None
+) -> tuple:
     """Run a lowered plan end to end; returns ``(result, library)``.
 
     Mirrors :meth:`~repro.pipeline.DiffPatternPipeline.run` (one rng drives
@@ -330,13 +387,17 @@ def _execute_plan(plan: RunPlan, out: "Path | None", resume: bool) -> tuple:
 
     if resume and out is None:
         raise ScenarioError("--resume needs --out: the manifest is what a run resumes from")
+    if writer is not None and out is None:
+        raise ScenarioError("--writer needs --out: a writer id names a library ledger")
     pipeline = DiffPatternPipeline(plan.config)
     gen = as_rng(plan.seed)
     print(f"[1/3] dataset: {plan.num_training_patterns} synthetic training patterns ...")
     pipeline.prepare_data(plan.num_training_patterns, rng=gen)
     print(f"[2/3] training: {plan.config.train_iterations} iterations ...")
     pipeline.train(rng=gen)
-    library = PatternLibrary(out, dedup=plan.dedup) if out is not None else None
+    library = (
+        PatternLibrary(out, dedup=plan.dedup, writer=writer) if out is not None else None
+    )
     mode = "streamed" if plan.stream else "batch"
     print(
         f"[3/3] generation graph ({mode}): {plan.num_generated} topologies "
@@ -371,23 +432,53 @@ def _print_result(plan: RunPlan, result, library, out: "Path | None") -> None:
 def _cmd_generate(args: argparse.Namespace, resume: "bool | None" = None) -> int:
     plan = _plan_for(args)
     resume = args.resume if resume is None else resume
-    result, library = _execute_plan(plan, args.out, resume)
+    result, library = _execute_plan(plan, args.out, resume, writer=args.writer)
     _print_result(plan, result, library, args.out)
     return 0
 
 
+def _parse_band(text: str) -> tuple:
+    """``'LO:HI'`` → an inclusive ``(lo, hi)`` band; empty ends stay open."""
+    lo_text, sep, hi_text = text.partition(":")
+    if not sep:
+        raise ScenarioError(f"--band wants LO:HI (either end may be empty), got {text!r}")
+    try:
+        lo = int(lo_text) if lo_text else None
+        hi = int(hi_text) if hi_text else None
+    except ValueError as error:
+        raise ScenarioError(f"--band bounds must be integers: {error}") from None
+    return lo, hi
+
+
 def _cmd_inspect_library(args: argparse.Namespace) -> int:
-    from .library import LibraryError, PatternLibrary
+    from .library import MANIFEST_DIR, LibraryError, PatternLibrary
 
     manifest = Path(args.library) / "manifest.json"
-    if not manifest.exists():
-        raise LibraryError(f"{args.library} holds no pattern library (missing {manifest})")
+    manifests = Path(args.library) / MANIFEST_DIR
+    if not manifest.exists() and not manifests.is_dir():
+        raise LibraryError(
+            f"{args.library} holds no pattern library "
+            f"(missing {manifest} and {manifests}/)"
+        )
     library = PatternLibrary(args.library)
     summary = library.summary()
     print(f"pattern library at {args.library}")
     for key, value in summary.items():
         rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
         print(f"  {key:<18} {rendered}")
+    if library.writers:
+        print(f"  {'layout':<18} v2 (sharded, {len(library.writers)} writer(s))")
+        print(f"  {'writers':<18} {', '.join(library.writers)}")
+        stats = library.index_stats()
+        if stats is not None:
+            print(
+                f"  {'index':<18} covered_seq={stats['covered_seq']} "
+                f"merged={stats['merged_patterns']} "
+                f"delta_chunks={stats['delta_chunks']} "
+                f"bloom_bits={stats['bloom_bits']}"
+            )
+    else:
+        print(f"  {'layout':<18} v1 (single manifest.json)")
     if library.fingerprint:
         print("  fingerprint:")
         for key, value in sorted(library.fingerprint.items()):
@@ -395,17 +486,60 @@ def _cmd_inspect_library(args: argparse.Namespace) -> int:
     if args.chunks:
         print()
         header = (
-            f"{'chunk':>5} {'start':>6} {'sampled':>8} {'kept':>5} "
-            f"{'patterns':>9} {'stored':>7} {'clean':>6} {'shard'}"
+            f"{'chunk':>5} {'seq':>5} {'writer':>14} {'start':>6} {'sampled':>8} "
+            f"{'kept':>5} {'patterns':>9} {'stored':>7} {'clean':>6} {'shard'}"
         )
         print(header)
         print("-" * len(header))
         for record in library.records_in_order():
+            seq = "-" if record.seq is None else record.seq
             print(
-                f"{record.chunk:>5} {record.start:>6} {record.num_sampled:>8} "
+                f"{record.chunk:>5} {seq:>5} "
+                f"{(record.writer or '-'):>14} "
+                f"{record.start:>6} {record.num_sampled:>8} "
                 f"{record.num_kept:>5} {record.num_patterns:>9} "
                 f"{record.num_stored:>7} {record.num_clean:>6} {record.shard or '-'}"
             )
+    if args.band or args.topology or args.regime or args.from_writer:
+        band = _parse_band(args.band) if args.band else None
+        handles = library.query(
+            complexity_band=band,
+            rule_regime=args.regime,
+            topology_hash=args.topology,
+            writer=args.from_writer,
+        )
+        print()
+        print(f"query matched {len(handles)} pattern(s)")
+        for handle in handles[: max(args.limit, 0)]:
+            print(
+                f"  seq={handle.record.seq:>4} chunk={handle.record.chunk:>4} "
+                f"pos={handle.position:>4} cx+cy={handle.cx + handle.cy:>3} "
+                f"topology={handle.topology_hash[:12]} "
+                f"pattern={handle.pattern_hash[:12]}"
+            )
+        if len(handles) > args.limit > 0:
+            print(f"  ... {len(handles) - args.limit} more (raise --limit)")
+    return 0
+
+
+def _cmd_compact_library(args: argparse.Namespace) -> int:
+    from .library import MANIFEST_DIR, LibraryError, PatternLibrary
+
+    manifest = Path(args.library) / "manifest.json"
+    manifests = Path(args.library) / MANIFEST_DIR
+    if not manifest.exists() and not manifests.is_dir():
+        raise LibraryError(
+            f"{args.library} holds no pattern library "
+            f"(missing {manifest} and {manifests}/)"
+        )
+    library = PatternLibrary(args.library)
+    report = library.compact(
+        target_shard_patterns=args.target_shard_patterns,
+        drop_duplicates=False if args.keep_duplicates else None,
+    )
+    print(f"compacted pattern library at {args.library}")
+    for key, value in sorted(report.as_dict().items()):
+        print(f"  {key:<22} {value}")
     return 0
 
 
@@ -461,7 +595,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     registry = _registry_for(args)
     service = GenerationService(
-        registry=registry, max_pending=args.max_pending, max_batch=args.max_batch
+        registry=registry,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        library_root=args.library,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     try:
@@ -487,6 +624,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "generate": _cmd_generate,
         "resume": lambda a: _cmd_generate(a, resume=True),
         "inspect-library": _cmd_inspect_library,
+        "compact-library": _cmd_compact_library,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
     }

@@ -1,10 +1,16 @@
-"""Persistent pattern library: append-only npz shards + JSON manifest."""
+"""Persistent pattern library: npz shards, manifest shards, on-disk index."""
 
+from .faults import InjectedCrash, fault_point, install_fault_hook, record_fault_points
+from .index import BloomFilter, LibraryIndex
+from .manifest import LEGACY_WRITER, MANIFEST_DIR, LibraryLock, WriterLedger
 from .store import (
     ChunkRecord,
+    CompactionReport,
     LibraryError,
+    PatternHandle,
     PatternLibrary,
     load_shard,
+    load_shard_slice,
     pattern_hash,
     save_shard,
     topology_hash,
@@ -13,9 +19,22 @@ from .store import (
 __all__ = [
     "PatternLibrary",
     "ChunkRecord",
+    "CompactionReport",
     "LibraryError",
+    "PatternHandle",
+    "BloomFilter",
+    "LibraryIndex",
+    "LibraryLock",
+    "WriterLedger",
+    "LEGACY_WRITER",
+    "MANIFEST_DIR",
+    "InjectedCrash",
+    "fault_point",
+    "install_fault_hook",
+    "record_fault_points",
     "save_shard",
     "load_shard",
+    "load_shard_slice",
     "pattern_hash",
     "topology_hash",
 ]

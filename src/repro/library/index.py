@@ -1,0 +1,442 @@
+"""On-disk hash index: per-shard sidecars, merged sorted files, bloom filter.
+
+The v1 library answered every dedup probe from in-memory hash sets rebuilt
+by parsing the whole manifest — O(library) work per open, long before the
+solver becomes the bottleneck.  The v2 index replaces those sets with three
+on-disk structures, all derived data (rebuildable from the shards at any
+time):
+
+* **sidecars** — each shard commit writes ``index/<shard>.idx.npz`` holding,
+  aligned with the shard's patterns: the pattern hash, the topology hash and
+  the canonical complexity ``(cx, cy)`` of every stored pattern.  Sidecars
+  are what the indexed :meth:`~repro.library.PatternLibrary.query` API scans
+  instead of loading shards, and what delta dedup probes read.
+* **merged sorted hash files** — ``index/pattern_hashes.npy`` and
+  ``index/topology_hashes.npy``: one lexicographically sorted ``S40`` array
+  each, memory-mapped on open and probed by binary search.
+* **bloom filter** — ``index/bloom.npz``, a classic double-hashing Bloom
+  filter over the pattern hashes.  A negative probe (the overwhelmingly
+  common case while generating fresh patterns) costs ``k`` bit tests and
+  never touches the sorted files.
+
+**Consistency watermark.**  ``index/meta.json`` records ``covered_seq``:
+the merged files and bloom cover exactly the chunk records with
+``ChunkRecord.seq <= covered_seq``.  Records beyond the watermark are the
+*delta*: their sidecars are loaded into small in-memory sets on refresh, so
+a probe is ``delta ∪ bloom/sorted`` — exact at every moment.  The index is
+flushed (delta folded into the merged files, watermark advanced) only
+*after* the covered records are durably committed, so every crash leaves the
+watermark at or below the truth: a stale index loses speed, never
+correctness.  ``rebuild()`` regenerates everything from sidecars/shards.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from .faults import fault_point
+from .manifest import atomic_write_bytes, atomic_write_text
+
+__all__ = [
+    "BloomFilter",
+    "INDEX_DIR",
+    "LibraryIndex",
+    "sidecar_name",
+    "load_sidecar",
+    "write_sidecar",
+]
+
+INDEX_DIR = "index"
+META_NAME = "index_meta.json"
+PATTERN_FILE = "pattern_hashes.npy"
+TOPOLOGY_FILE = "topology_hashes.npy"
+BLOOM_FILE = "bloom.npz"
+
+#: Fixed-width dtype of a sha1 hex digest; lexicographic byte order equals
+#: hex-value order, so ``np.searchsorted`` is a correct membership probe.
+HASH_DTYPE = "S40"
+
+#: Delta chunks tolerated before an append folds them into the merged files.
+FLUSH_DELTA_CHUNKS = 8
+
+
+def _as_hash_array(hashes) -> np.ndarray:
+    return np.asarray(list(hashes), dtype=HASH_DTYPE)
+
+
+def _as_key(digest) -> bytes:
+    """Normalise a sha1 digest (str, np.bytes_, bytes) to ``bytes``."""
+    return digest.encode() if isinstance(digest, str) else bytes(digest)
+
+
+def _sorted_contains(arr: np.ndarray, key: bytes) -> bool:
+    if arr.size == 0:
+        return False
+    position = int(np.searchsorted(arr, np.asarray(key, dtype=HASH_DTYPE)))
+    return position < arr.size and arr[position] == np.asarray(key, dtype=HASH_DTYPE)
+
+
+# --------------------------------------------------------------------------- #
+# bloom filter
+# --------------------------------------------------------------------------- #
+class BloomFilter:
+    """Double-hashing Bloom filter over sha1 hex digests.
+
+    The two base hashes are carved straight out of the digest (a sha1 is
+    already uniform), so membership is deterministic across processes and
+    platforms: ``index_i = (h1 + i * h2) mod num_bits``.
+    """
+
+    def __init__(self, bits: np.ndarray, num_hashes: int, capacity: int) -> None:
+        self.bits = np.asarray(bits, dtype=np.uint8)
+        self.num_bits = int(self.bits.size) * 8
+        self.num_hashes = int(num_hashes)
+        self.capacity = int(capacity)
+
+    @classmethod
+    def from_capacity(cls, capacity: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size for ``capacity`` insertions at ``fp_rate`` false positives."""
+        capacity = max(1, int(capacity))
+        num_bits = max(64, int(math.ceil(-capacity * math.log(fp_rate) / math.log(2) ** 2)))
+        num_bytes = (num_bits + 7) // 8
+        num_hashes = max(1, int(round(num_bits / capacity * math.log(2))))
+        return cls(np.zeros(num_bytes, dtype=np.uint8), num_hashes, capacity)
+
+    def _indices(self, digest: bytes) -> "list[int]":
+        value = int(digest, 16)
+        h1 = value & 0xFFFFFFFFFFFFFFFF
+        h2 = ((value >> 64) & 0xFFFFFFFFFFFFFFFF) | 1
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def add(self, digest: bytes) -> None:
+        for index in self._indices(digest):
+            self.bits[index >> 3] |= 1 << (index & 7)
+
+    def add_many(self, hashes: np.ndarray) -> None:
+        for digest in hashes:
+            self.add(_as_key(digest))
+
+    def might_contain(self, digest: bytes) -> bool:
+        bits = self.bits
+        for index in self._indices(digest):
+            if not bits[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
+
+# --------------------------------------------------------------------------- #
+# sidecars
+# --------------------------------------------------------------------------- #
+def sidecar_name(shard_name: str) -> str:
+    """``shard_x.npz`` -> ``shard_x.idx.npz`` (lives under ``index/``)."""
+    stem = shard_name[:-4] if shard_name.endswith(".npz") else shard_name
+    return f"{stem}.idx.npz"
+
+
+def write_sidecar(path: "str | Path", arrays: dict[str, np.ndarray]) -> None:
+    """Atomically commit one sidecar (aligned per-pattern metadata arrays)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_bytes(path, lambda fh: np.savez_compressed(fh, **arrays))
+
+
+def load_sidecar(path: "str | Path") -> "dict[str, np.ndarray] | None":
+    """The sidecar's arrays, or ``None`` when absent/unreadable.
+
+    Sidecars are derived data: a missing or torn one (e.g. after a crash or
+    a deleted ``index/`` directory) is repaired by recomputation from the
+    shard, never an error.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            return {key: data[key] for key in data.files}
+    except Exception:  # zipfile/ValueError zoo: treat any torn file as absent
+        return None
+
+
+def sidecar_arrays(patterns, sources=None, clean=None) -> dict[str, np.ndarray]:
+    """Compute the aligned sidecar arrays for ``patterns``."""
+    from ..metrics import pattern_complexity
+    from .store import pattern_hash, topology_hash
+
+    complexities = [pattern_complexity(p) for p in patterns]
+    arrays = {
+        "pattern_hash": _as_hash_array(pattern_hash(p) for p in patterns),
+        "topology_hash": _as_hash_array(topology_hash(p.topology) for p in patterns),
+        "cx": np.asarray([c[0] for c in complexities], dtype=np.int64),
+        "cy": np.asarray([c[1] for c in complexities], dtype=np.int64),
+    }
+    if sources is not None:
+        arrays["source"] = np.asarray(sources, dtype=np.int64)
+    if clean is not None:
+        arrays["clean"] = np.asarray(clean, dtype=np.uint8)
+    return arrays
+
+
+# --------------------------------------------------------------------------- #
+# the index
+# --------------------------------------------------------------------------- #
+class LibraryIndex:
+    """Merged sorted hash files + bloom + in-memory delta for one library.
+
+    The owning :class:`~repro.library.PatternLibrary` drives the lifecycle:
+    :meth:`refresh_delta` after every ledger re-read, :meth:`note_committed`
+    after every local append, :meth:`flush`/:meth:`rebuild` under the
+    library lock.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.dir = self.root / INDEX_DIR
+        self.covered_seq = -1
+        self.generation = 0      # bumped on every on-disk rewrite
+        self._patterns: "np.ndarray | None" = None     # sorted S40, mmap
+        self._topologies: "np.ndarray | None" = None
+        self._bloom: "BloomFilter | None" = None
+        #: seq -> (pattern hash set, topology hash set) beyond the watermark.
+        self._delta: "dict[int, tuple[set, set]]" = {}
+        self._load_meta()
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def _load_meta(self) -> None:
+        meta_path = self.dir / META_NAME
+        if not meta_path.exists():
+            self.covered_seq = -1
+            self.generation = 0
+            return
+        try:
+            meta = json.loads(meta_path.read_text())
+            self.covered_seq = int(meta.get("covered_seq", -1))
+            self.generation = int(meta.get("generation", 0))
+        except (OSError, json.JSONDecodeError, ValueError):
+            # A torn meta file invalidates the index; probes fall back to
+            # the (complete) delta path until the next flush/rebuild.
+            self.covered_seq = -1
+
+    def reload_meta(self) -> None:
+        """Re-read the watermark; drop caches if another process rewrote it.
+
+        Renames swap the files under our memory maps without changing their
+        contents, so any generation bump means the cached arrays/bloom no
+        longer describe the on-disk index.
+        """
+        previous = self.generation
+        self._load_meta()
+        if self.generation != previous:
+            self._patterns = self._topologies = None
+            self._bloom = None
+
+    def _merged_patterns(self) -> np.ndarray:
+        if self._patterns is None:
+            self._patterns = self._load_array(PATTERN_FILE)
+        return self._patterns
+
+    def _merged_topologies(self) -> np.ndarray:
+        if self._topologies is None:
+            self._topologies = self._load_array(TOPOLOGY_FILE)
+        return self._topologies
+
+    def _load_array(self, name: str) -> np.ndarray:
+        path = self.dir / name
+        if self.covered_seq < 0 or not path.exists():
+            return np.empty(0, dtype=HASH_DTYPE)
+        try:
+            return np.load(path, mmap_mode="r")
+        except Exception:
+            return np.empty(0, dtype=HASH_DTYPE)
+
+    def _bloom_filter(self) -> "BloomFilter | None":
+        if self._bloom is None and self.covered_seq >= 0:
+            path = self.dir / BLOOM_FILE
+            if path.exists():
+                try:
+                    with np.load(path) as data:
+                        self._bloom = BloomFilter(
+                            data["bits"], int(data["num_hashes"]), int(data["capacity"])
+                        )
+                except Exception:
+                    self._bloom = None
+        return self._bloom
+
+    # ------------------------------------------------------------------ #
+    # delta maintenance
+    # ------------------------------------------------------------------ #
+    def refresh_delta(self, records, hash_loader) -> None:
+        """Synchronise the in-memory delta with the merged record list.
+
+        ``records`` is the full merged history (each carrying ``seq``);
+        ``hash_loader(record)`` returns ``(pattern_hashes, topology_hashes)``
+        for one record — sidecar-backed, shard-recompute fallback.  Records
+        at or below the watermark are dropped from the delta; records beyond
+        it are loaded once and kept.
+        """
+        wanted = {}
+        for record in records:
+            if record.seq is None or record.seq <= self.covered_seq:
+                continue
+            if record.seq in self._delta:
+                wanted[record.seq] = self._delta[record.seq]
+            else:
+                pattern_hashes, topology_hashes = hash_loader(record)
+                wanted[record.seq] = (
+                    {_as_key(h) for h in pattern_hashes},
+                    {_as_key(h) for h in topology_hashes},
+                )
+        self._delta = wanted
+
+    def note_committed(self, record, pattern_hashes, topology_hashes) -> None:
+        """Fold one just-committed local record into the delta."""
+        self._delta[record.seq] = (
+            {_as_key(h) for h in pattern_hashes},
+            {_as_key(h) for h in topology_hashes},
+        )
+
+    @property
+    def delta_chunks(self) -> int:
+        return len(self._delta)
+
+    # ------------------------------------------------------------------ #
+    # probes
+    # ------------------------------------------------------------------ #
+    def has_pattern(self, digest: "str | bytes") -> bool:
+        key = digest.encode() if isinstance(digest, str) else bytes(digest)
+        for patterns, _ in self._delta.values():
+            if key in patterns:
+                return True
+        bloom = self._bloom_filter()
+        if bloom is not None and not bloom.might_contain(key):
+            return False
+        return _sorted_contains(self._merged_patterns(), key)
+
+    def has_topology(self, digest: "str | bytes") -> bool:
+        key = digest.encode() if isinstance(digest, str) else bytes(digest)
+        for _, topologies in self._delta.values():
+            if key in topologies:
+                return True
+        return _sorted_contains(self._merged_topologies(), key)
+
+    # ------------------------------------------------------------------ #
+    # flush / rebuild
+    # ------------------------------------------------------------------ #
+    def should_flush(self) -> bool:
+        return self.delta_chunks >= FLUSH_DELTA_CHUNKS
+
+    def flush(self, records, hash_loader) -> None:
+        """Fold every committed record into the merged files (watermark = max).
+
+        Caller must hold the library lock and must only pass records that
+        are durably committed — the write order (arrays, bloom, meta last)
+        guarantees a crash leaves ``covered_seq`` at or below the truth.
+        """
+        self.refresh_delta(records, hash_loader)
+        if not self._delta and self.covered_seq >= 0:
+            return
+        delta_patterns = [h for p, _ in self._delta.values() for h in p]
+        delta_topologies = [h for _, t in self._delta.values() for h in t]
+        merged_patterns = self._merge(self._merged_patterns(), delta_patterns)
+        merged_topologies = self._merge(self._merged_topologies(), delta_topologies)
+        covered = max(
+            [record.seq for record in records if record.seq is not None],
+            default=self.covered_seq,
+        )
+        self._write(merged_patterns, merged_topologies, covered)
+
+    def rebuild(self, records, hash_loader) -> None:
+        """Regenerate the whole index from scratch (compaction / repair)."""
+        patterns: "set[bytes]" = set()
+        topologies: "set[bytes]" = set()
+        covered = -1
+        for record in records:
+            pattern_hashes, topology_hashes = hash_loader(record)
+            patterns.update(_as_key(h) for h in pattern_hashes)
+            topologies.update(_as_key(h) for h in topology_hashes)
+            if record.seq is not None:
+                covered = max(covered, record.seq)
+        self._write(
+            np.sort(_as_hash_array(patterns)),
+            np.sort(_as_hash_array(topologies)),
+            covered,
+        )
+
+    def invalidate(self) -> None:
+        """Mark the merged files stale (dedup-dropping compaction in flight).
+
+        Probes fall back to the all-delta path until the next rebuild; the
+        meta commit happens first so a crash mid-compaction can never leave
+        a watermark that overstates the index.
+        """
+        self.covered_seq = -1
+        self.generation += 1
+        self._patterns = self._topologies = None
+        self._bloom = None
+        meta = {"version": 2, "covered_seq": -1, "generation": self.generation}
+        self.dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.dir / META_NAME, json.dumps(meta, sort_keys=True) + "\n")
+
+    @staticmethod
+    def _merge(base: np.ndarray, extra: "list[bytes]") -> np.ndarray:
+        if not extra:
+            return np.sort(np.asarray(base, dtype=HASH_DTYPE))
+        extra_arr = _as_hash_array(extra)
+        if base.size == 0:
+            return np.unique(extra_arr)
+        return np.unique(np.concatenate([np.asarray(base, dtype=HASH_DTYPE), extra_arr]))
+
+    def _write(
+        self, patterns: np.ndarray, topologies: np.ndarray, covered: int
+    ) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        fault_point("index:arrays")
+        atomic_write_bytes(self.dir / PATTERN_FILE, lambda fh: np.save(fh, patterns))
+        atomic_write_bytes(self.dir / TOPOLOGY_FILE, lambda fh: np.save(fh, topologies))
+        bloom = BloomFilter.from_capacity(max(64, 2 * patterns.size))
+        bloom.add_many(patterns)
+        fault_point("index:bloom")
+        atomic_write_bytes(
+            self.dir / BLOOM_FILE,
+            lambda fh: np.savez_compressed(
+                fh,
+                bits=bloom.bits,
+                num_hashes=np.asarray(bloom.num_hashes, dtype=np.int64),
+                capacity=np.asarray(bloom.capacity, dtype=np.int64),
+            ),
+        )
+        meta = {
+            "version": 2,
+            "covered_seq": int(covered),
+            "generation": self.generation + 1,
+            "pattern_count": int(patterns.size),
+            "topology_count": int(topologies.size),
+            "bloom_bits": bloom.num_bits,
+            "bloom_hashes": bloom.num_hashes,
+        }
+        fault_point("index:meta")
+        atomic_write_text(self.dir / META_NAME, json.dumps(meta, sort_keys=True) + "\n")
+        # Reload lazily from the fresh files; the delta is now covered.
+        self.generation += 1
+        self.covered_seq = int(covered)
+        self._patterns = self._topologies = None
+        self._bloom = None
+        self._delta = {
+            seq: sets for seq, sets in self._delta.items() if seq > self.covered_seq
+        }
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Probe-side accounting for ``inspect-library`` and the benchmarks."""
+        return {
+            "covered_seq": self.covered_seq,
+            "delta_chunks": self.delta_chunks,
+            "merged_patterns": int(self._merged_patterns().size),
+            "merged_topologies": int(self._merged_topologies().size),
+            "bloom_bits": self._bloom_filter().num_bits if self._bloom_filter() else 0,
+        }

@@ -1,27 +1,39 @@
-"""Append-only on-disk pattern library: npz shards + a JSON manifest.
+"""Append-only on-disk pattern library: npz shards + manifests + hash index.
 
 The paper's end product is a large *library* of legal patterns judged by
 diversity H and legality; this module makes that library a first-class,
 persistent artefact instead of an in-memory list that dies with the process:
 
 * **Shards** — each completed generation chunk is written as one
-  ``shards/shard_<n>.npz`` file holding its patterns in the
+  ``shards/*.npz`` file holding its patterns in the
   :meth:`~repro.squish.SquishPattern.as_arrays` codec (the same arrays
   ``SquishPattern.save`` writes, under per-pattern key prefixes), so a
   round trip is lossless and exact.
-* **Manifest** — ``manifest.json`` records the run fingerprint (seeds and
-  knobs), one accounting record per chunk (counts, solver stats, complexity
-  histograms) and the topology-hash registry.  The manifest is rewritten
-  atomically (temp file + ``os.replace``) *after* its shard, so a killed run
-  leaves at worst one orphaned shard that the restart overwrites.
+* **Manifest** — a **v1** library records the run fingerprint (seeds and
+  knobs), one accounting record per chunk and the hash registry in a single
+  ``manifest.json``, rewritten atomically (temp file + ``os.replace``)
+  *after* its shard, so a killed run leaves at worst one orphaned shard that
+  the restart overwrites.  A **v2** library (opened with ``writer=``) splits
+  the manifest into per-writer ledger shards under ``manifests/`` merged by
+  seq order — see :mod:`repro.library.manifest` — so many runs and serve
+  workers can append to one library concurrently.
+* **Index** — v2 dedup probes go through the on-disk hash index
+  (:mod:`repro.library.index`): bloom filter + sorted hash files + sidecar
+  deltas, instead of v1's whole-manifest in-memory sets.
 * **Resume** — a :class:`~repro.pipeline.GenerationGraph` run handed an
-  existing library validates the fingerprint, folds the stored records into
-  its accumulators and continues with the first chunk the manifest does not
-  list; completed chunks are never re-generated.
+  existing library validates the fingerprint *and the shard files of every
+  completed chunk*, folds the stored records into its accumulators and
+  continues with the first chunk its ledger does not list; completed chunks
+  are never re-generated.
 * **Dedup** — every stored pattern registers the hash of its topology
   matrix; ``dedup=True`` skips patterns whose exact ``(topology, delta_x,
   delta_y)`` triple is already present, and the per-topology registry feeds
   ``num_unique_topologies`` either way.
+
+A v1 library opened without ``writer=`` behaves bit-identically to the PR 3
+format (same manifest bytes, no lock, no index files); opened *with* a
+writer it participates in the v2 merge unchanged on disk (read-side
+migration) until an explicit :meth:`PatternLibrary.compact` rewrites it.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,10 +49,49 @@ import numpy as np
 
 from ..metrics import ComplexityHistogram
 from ..squish import SquishPattern
+from .faults import fault_point
+from .index import (
+    INDEX_DIR,
+    LibraryIndex,
+    load_sidecar,
+    sidecar_arrays,
+    sidecar_name,
+    write_sidecar,
+)
+from .manifest import (
+    LEGACY_WRITER,
+    MANIFEST_DIR,
+    ChunkRecord,
+    LibraryLock,
+    WriterLedger,
+    atomic_write_bytes,
+    atomic_write_text,
+    load_ledger,
+    scan_ledgers,
+    validate_writer_id,
+)
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
 MANIFEST_VERSION = 1
+#: Shards written by :meth:`PatternLibrary.compact` (they hold the slices of
+#: several chunk records and are therefore range- rather than exact-checked).
+MERGED_SHARD_PREFIX = "merged_"
+#: Shards cached for lazy :class:`PatternHandle` loads.
+_SHARD_CACHE_SIZE = 4
+
+__all__ = [
+    "ChunkRecord",
+    "CompactionReport",
+    "LibraryError",
+    "PatternHandle",
+    "PatternLibrary",
+    "load_shard",
+    "load_shard_slice",
+    "pattern_hash",
+    "save_shard",
+    "topology_hash",
+]
 
 
 class LibraryError(RuntimeError):
@@ -64,40 +116,48 @@ def pattern_hash(pattern: SquishPattern) -> str:
     return digest.hexdigest()
 
 
+# --------------------------------------------------------------------------- #
+# query handles / compaction accounting
+# --------------------------------------------------------------------------- #
 @dataclass
-class ChunkRecord:
-    """Accounting for one completed generation chunk.
+class PatternHandle:
+    """One indexed pattern, loadable lazily (sidecar metadata, no shard I/O).
 
-    The complexity multisets are stored in the compact
-    :meth:`~repro.metrics.ComplexityHistogram.as_records` codec
-    (``[cx, cy, count]`` rows), and each record carries only the hashes it
-    *introduced*, so a chunk's manifest contribution is proportional to the
-    chunk, not to the library.
+    Returned by :meth:`PatternLibrary.query`; carries the hashes and the
+    canonical complexity so filtering and accounting never touch shard
+    files.  :meth:`load` materialises the actual :class:`SquishPattern`
+    through the library's small shard cache.
     """
 
-    chunk: int                      # chunk index within the run
-    start: int                      # first raw sample index of the chunk
-    num_sampled: int                # raw topologies drawn
-    num_kept: int                   # survived the prefilter
-    num_rejected: int
-    unsolved: int                   # kept topologies with no legal solution
-    num_patterns: int               # legal patterns produced (pre-dedup)
-    num_stored: int                 # patterns written to the shard
-    duplicates_skipped: int
-    num_clean: int                  # DRC-clean stored patterns
-    shard: "str | None"             # shard file name, None for empty chunks
-    topology_complexity_counts: list[list[int]] = field(default_factory=list)
-    pattern_complexity_counts: list[list[int]] = field(default_factory=list)
-    new_pattern_hashes: list[str] = field(default_factory=list)
-    new_topology_hashes: list[str] = field(default_factory=list)
-    stats: dict[str, float] = field(default_factory=dict)
+    record: ChunkRecord
+    position: int          # index within the record's shard slice
+    pattern_hash: str
+    topology_hash: str
+    cx: int
+    cy: int
+    library: "PatternLibrary" = field(repr=False, default=None)
+
+    @property
+    def complexity(self) -> tuple[int, int]:
+        return (self.cx, self.cy)
+
+    def load(self) -> SquishPattern:
+        return self.library._load_handle(self)
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`PatternLibrary.compact` call changed."""
+
+    records: int = 0            # chunk records in the merged history
+    migrated: int = 0           # legacy manifest.json records moved to ledgers
+    shards_before: int = 0
+    shards_after: int = 0
+    merged_shards_written: int = 0
+    patterns_dropped: int = 0   # superseded duplicates removed (dedup mode)
 
     def as_dict(self) -> dict:
         return {key: getattr(self, key) for key in self.__dataclass_fields__}
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "ChunkRecord":
-        return cls(**{key: data[key] for key in cls.__dataclass_fields__ if key in data})
 
 
 class PatternLibrary:
@@ -106,25 +166,45 @@ class PatternLibrary:
     Parameters
     ----------
     root:
-        Directory holding ``manifest.json`` and the ``shards/`` folder.
-        Created on first write; an existing manifest is loaded eagerly.
+        Directory holding the manifest(s) and the ``shards/`` folder.
+        Created on first write; existing state is loaded eagerly.
     dedup:
         When ``True``, :meth:`append_chunk` skips patterns whose exact
         ``(topology, delta_x, delta_y)`` hash is already registered.  Off by
         default so a streamed run stays element-wise identical to the batch
-        run.  The flag is persisted in the manifest, and an existing
-        library's persisted value always wins on reopen — flipping the mode
-        midway would make a resumed run diverge from the uninterrupted one.
+        run.  The flag is persisted, and an existing library's persisted
+        value always wins on reopen — flipping the mode midway would make a
+        resumed run diverge from the uninterrupted one.
+    writer:
+        ``None`` (default) keeps the v1 single-writer behaviour: one
+        ``manifest.json``, in-memory hash sets, bit-identical output to
+        PR 3 — unless the library on disk already has ``manifests/`` ledger
+        shards, in which case the instance is a read-only merged view.
+        A writer id switches the library to v2 multi-writer mode: appends
+        go to this writer's own ``manifests/<writer>.json`` under the
+        advisory library lock, and dedup probes go through the on-disk
+        hash index.  A run resuming a pure-v1 library should keep
+        ``writer=None`` (its records live in ``manifest.json``).
     """
 
-    def __init__(self, root: "str | Path", dedup: bool = False) -> None:
+    def __init__(
+        self, root: "str | Path", dedup: bool = False, writer: "str | None" = None
+    ) -> None:
         self.root = Path(root)
         self.dedup = bool(dedup)
+        self.writer = validate_writer_id(writer) if writer is not None else None
         self.fingerprint: dict = {}
         self.chunk_records: dict[int, ChunkRecord] = {}
         self._pattern_hashes: set[str] = set()
         self._topology_hashes: set[str] = set()
-        if self.manifest_path.exists():
+        self._ledgers: dict[str, WriterLedger] = {}
+        self._legacy_unmigrated = False
+        self._shard_cache: "OrderedDict[str, list[SquishPattern]]" = OrderedDict()
+        self._v2 = self.writer is not None or (self.root / MANIFEST_DIR).is_dir()
+        self._index: "LibraryIndex | None" = LibraryIndex(self.root) if self._v2 else None
+        if self._v2:
+            self._refresh_v2()
+        elif self.manifest_path.exists():
             self._load_manifest()
 
     # ------------------------------------------------------------------ #
@@ -138,33 +218,176 @@ class PatternLibrary:
     def shard_dir(self) -> Path:
         return self.root / SHARD_DIR
 
+    @property
+    def index_dir(self) -> Path:
+        return self.root / INDEX_DIR
+
     def shard_path(self, chunk: int) -> Path:
+        if self._v2:
+            return self.shard_dir / f"shard_{self.writer}_{chunk:05d}.npz"
         return self.shard_dir / f"shard_{chunk:05d}.npz"
+
+    def _sidecar_path(self, shard_name: str) -> Path:
+        return self.index_dir / sidecar_name(shard_name)
+
+    # ------------------------------------------------------------------ #
+    # v2 state
+    # ------------------------------------------------------------------ #
+    def _refresh_v2(self) -> None:
+        """Re-read every ledger shard and synchronise the index delta.
+
+        Called on open and at the top of every locked critical section so a
+        writer always merges against the latest committed state of its
+        peers.  The merged history is a pure function of the on-disk files.
+        """
+        ledgers: dict[str, WriterLedger] = {}
+        for writer_id, path in scan_ledgers(self.root).items():
+            ledgers[writer_id] = load_ledger(path)
+        self._legacy_unmigrated = False
+        # ``manifest.json`` participates as the implicit "legacy" writer
+        # until compact() migrates it; once manifests/legacy.json exists it
+        # supersedes the (then stale) v1 manifest.
+        if LEGACY_WRITER not in ledgers and self.manifest_path.exists():
+            ledgers[LEGACY_WRITER] = self._load_legacy_ledger()
+            self._legacy_unmigrated = True
+        self._ledgers = ledgers
+        own = ledgers.get(self.writer) if self.writer is not None else None
+        if own is not None:
+            # Persisted state wins, exactly like the v1 manifest reload.
+            self.dedup = own.dedup
+            if own.fingerprint:
+                self.fingerprint = own.fingerprint
+            self.chunk_records = {record.chunk: record for record in own.chunks}
+        else:
+            if ledgers:
+                anchor = ledgers.get(LEGACY_WRITER) or ledgers[sorted(ledgers)[0]]
+                self.dedup = anchor.dedup
+            self.chunk_records = {}
+        self._shard_cache.clear()
+        self._index.reload_meta()
+        self._index.refresh_delta(self.records_in_order(), self._record_hashes)
+
+    def _load_legacy_ledger(self) -> WriterLedger:
+        """The v1 ``manifest.json`` viewed as a ledger (read-side migration).
+
+        Records are assigned the implicit commit seqs ``0..n-1`` — they
+        predate every ledger append, whose seqs start at ``n`` — but the
+        file itself is left untouched.
+        """
+        payload = self._read_manifest_payload()
+        records = sorted(
+            (ChunkRecord.from_dict(data) for data in payload.get("chunks", [])),
+            key=lambda record: record.chunk,
+        )
+        for seq, record in enumerate(records):
+            record.seq = seq
+            record.writer = LEGACY_WRITER
+        return WriterLedger(
+            writer=LEGACY_WRITER,
+            fingerprint=payload.get("fingerprint", {}),
+            dedup=bool(payload.get("dedup", False)),
+            chunks=records,
+        )
+
+    def _record_hashes(self, record: ChunkRecord):
+        """``(pattern_hashes, topology_hashes)`` for one record's slice.
+
+        The index delta/rebuild loader: sidecar-backed for v2 records,
+        inline hash lists for unmigrated legacy records (collectively
+        complete — every hash was introduced by exactly one record), shard
+        recomputation as the last resort.
+        """
+        if record.num_new_patterns < 0 and (
+            record.new_pattern_hashes or record.new_topology_hashes
+        ):
+            return record.new_pattern_hashes, record.new_topology_hashes
+        if record.shard is None or record.num_stored == 0:
+            return [], []
+        meta = self._record_metadata(record)
+        return meta["pattern_hash"], meta["topology_hash"]
+
+    def _record_metadata(self, record: ChunkRecord) -> dict[str, np.ndarray]:
+        """Aligned per-pattern metadata arrays for one record's shard slice."""
+        empty = sidecar_arrays([])
+        if record.shard is None or record.num_stored == 0:
+            return empty
+        sidecar = load_sidecar(self._sidecar_path(record.shard))
+        lo, hi = record.shard_start, record.shard_start + record.num_stored
+        if sidecar is not None and sidecar.get("pattern_hash") is not None:
+            if sidecar["pattern_hash"].shape[0] >= hi:
+                return {key: value[lo:hi] for key, value in sidecar.items()}
+        # No (or torn) sidecar — recompute from the shard itself.
+        patterns = self.load_record_patterns(record)
+        return sidecar_arrays(patterns)
+
+    def _next_seq(self) -> int:
+        committed = [
+            record.seq
+            for record in self.records_in_order()
+            if record.seq is not None
+        ]
+        return max(committed, default=-1) + 1
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     @property
     def num_chunks(self) -> int:
-        return len(self.chunk_records)
+        return len(self.records_in_order())
 
     @property
     def num_patterns(self) -> int:
-        """Patterns stored on disk (post-dedup)."""
-        return sum(record.num_stored for record in self.chunk_records.values())
+        """Patterns stored on disk (post-dedup), across every writer."""
+        return sum(record.num_stored for record in self.records_in_order())
 
     @property
     def num_unique_topologies(self) -> int:
-        return len(self._topology_hashes)
+        if not self._v2:
+            return len(self._topology_hashes)
+        # Exact: appends are lock-serialised, so each topology is counted as
+        # "introduced" by exactly one record across all writers.
+        return sum(record.introduced_topologies for record in self.records_in_order())
+
+    @property
+    def writers(self) -> list[str]:
+        """Writer ids contributing to this library (empty for pure v1)."""
+        return sorted(self._ledgers)
 
     def completed_chunks(self) -> list[int]:
+        """This writer's completed chunk indices (all chunks for v1)."""
         return sorted(self.chunk_records)
 
-    def records_in_order(self) -> list[ChunkRecord]:
+    def own_records(self) -> list[ChunkRecord]:
+        """This writer's records in chunk order (all records for v1)."""
         return [self.chunk_records[index] for index in self.completed_chunks()]
 
+    def records_in_order(self) -> list[ChunkRecord]:
+        """The merged chunk history, in global commit order.
+
+        For a v1 library this is the manifest's chunk order; for v2 the
+        ledger shards are merged by commit ``seq`` — a deterministic pure
+        function of the on-disk state, whatever order the writers ran in.
+        """
+        if not self._v2:
+            return self.own_records()
+        merged = [
+            record for ledger in self._ledgers.values() for record in ledger.chunks
+        ]
+        merged.sort(
+            key=lambda r: (
+                r.seq if r.seq is not None else -1,
+                r.writer or "",
+                r.chunk,
+            )
+        )
+        return merged
+
     def pattern_histogram(self) -> ComplexityHistogram:
-        """Streaming complexity histogram over every stored pattern."""
+        """Streaming complexity histogram over every stored pattern.
+
+        Folds the per-chunk records' compact complexity codecs — no shard
+        is ever loaded, so the cost is proportional to the chunk count.
+        """
         histogram = ComplexityHistogram()
         for record in self.records_in_order():
             histogram.merge(
@@ -178,8 +401,9 @@ class PatternLibrary:
 
     def legality(self) -> float:
         """DRC-clean fraction of the stored patterns."""
-        clean = sum(record.num_clean for record in self.chunk_records.values())
-        total = sum(record.num_stored for record in self.chunk_records.values())
+        records = self.records_in_order()
+        clean = sum(record.num_clean for record in records)
+        total = sum(record.num_stored for record in records)
         return clean / total if total else 0.0
 
     def summary(self) -> dict[str, float]:
@@ -192,17 +416,40 @@ class PatternLibrary:
             "legality": self.legality(),
         }
 
+    def index_stats(self) -> "dict | None":
+        """On-disk index accounting (``None`` for a pure v1 library)."""
+        return self._index.stats() if self._index is not None else None
+
+    # ------------------------------------------------------------------ #
+    # membership probes
+    # ------------------------------------------------------------------ #
+    def has_pattern(self, digest: str) -> bool:
+        """Is this exact ``(topology, delta_x, delta_y)`` hash stored?"""
+        if self._v2:
+            return self._index.has_pattern(digest)
+        return digest in self._pattern_hashes
+
+    def has_topology(self, digest: str) -> bool:
+        if self._v2:
+            return self._index.has_topology(digest)
+        return digest in self._topology_hashes
+
     # ------------------------------------------------------------------ #
     # run binding / resume
     # ------------------------------------------------------------------ #
     def bind(self, fingerprint: dict, resume: bool = False) -> list[ChunkRecord]:
         """Attach a generation run to this library.
 
-        A fresh library adopts ``fingerprint``.  An existing one must match
-        it exactly — resuming under different seeds or knobs would silently
-        mix incompatible streams — and returns the completed chunk records
-        (empty unless ``resume`` is set; continuing a populated library
-        without ``resume=True`` is an error rather than an implicit append).
+        A fresh library (or a fresh writer in a v2 library) adopts
+        ``fingerprint``.  An existing one must match it exactly — resuming
+        under different seeds or knobs would silently mix incompatible
+        streams — and returns this writer's completed chunk records (empty
+        unless ``resume`` is set; continuing a populated library without
+        ``resume=True`` is an error rather than an implicit append).  On
+        resume, every returned record's shard file is validated up front so
+        a missing or truncated shard surfaces as a :class:`LibraryError`
+        naming the offending chunk instead of a low-level I/O error deep in
+        the run.
         """
         if not self.fingerprint:
             self.fingerprint = dict(fingerprint)
@@ -215,10 +462,47 @@ class PatternLibrary:
             )
         if self.chunk_records and not resume:
             raise LibraryError(
-                f"library at {self.root} already holds {self.num_chunks} chunk(s); "
-                "pass resume=True to continue it"
+                f"library at {self.root} already holds "
+                f"{len(self.chunk_records)} chunk(s); pass resume=True to "
+                "continue it"
             )
-        return self.records_in_order()
+        records = self.own_records()
+        if resume:
+            self.validate_records(records)
+        return records
+
+    def validate_records(self, records: "list[ChunkRecord]") -> None:
+        """Check every record's shard exists and holds its full slice.
+
+        Raises
+        ------
+        LibraryError
+            Naming the offending chunk, for a missing, truncated/corrupt,
+            or short shard file.
+        """
+        for record in records:
+            if record.shard is None or record.num_stored == 0:
+                continue
+            path = self.shard_dir / record.shard
+            if not path.exists():
+                raise LibraryError(
+                    f"cannot use chunk {record.chunk}: shard {path} named by "
+                    "the manifest is missing"
+                )
+            try:
+                with np.load(path) as data:
+                    total = int(data["count"])
+            except Exception as error:  # zip/npy corruption surfaces many ways
+                raise LibraryError(
+                    f"cannot use chunk {record.chunk}: shard {path} is "
+                    f"truncated or corrupt ({error})"
+                ) from error
+            if record.shard_start + record.num_stored > total:
+                raise LibraryError(
+                    f"cannot use chunk {record.chunk}: shard {path} holds "
+                    f"{total} pattern(s) but the manifest records "
+                    f"{record.num_stored} at offset {record.shard_start}"
+                )
 
     # ------------------------------------------------------------------ #
     # writing
@@ -233,11 +517,11 @@ class PatternLibrary:
         """
         if not self.dedup:
             return [True] * len(patterns)
-        seen = set(self._pattern_hashes)
+        seen: set[str] = set()
         flags = []
         for pattern in patterns:
             digest = pattern_hash(pattern)
-            if digest in seen:
+            if digest in seen or self.has_pattern(digest):
                 flags.append(False)
             else:
                 seen.add(digest)
@@ -249,16 +533,37 @@ class PatternLibrary:
     ) -> list[SquishPattern]:
         """Persist one completed chunk; returns the patterns actually stored.
 
-        The shard is written first, the manifest second (atomically), so an
-        interrupt between the two leaves a restartable library.  ``record``
-        is mutated in place with the storage accounting (``num_stored``,
-        ``duplicates_skipped``, the introduced hashes, the shard name).
+        The shard is written first, the manifest/ledger second (atomically),
+        so an interrupt between the two leaves a restartable library.
+        ``record`` is mutated in place with the storage accounting
+        (``num_stored``, ``duplicates_skipped``, the introduced hashes or
+        counts, the shard name — plus ``seq``/``writer`` in v2 mode).
+
+        In v2 mode the whole refresh → dedup-probe → shard write → ledger
+        commit sequence runs under the library lock, which is what makes
+        concurrent appends by many writers equivalent to the serial order
+        the ``seq`` numbers record.
 
         Raises
         ------
         LibraryError
-            If ``record.chunk`` is already recorded in the manifest.
+            If ``record.chunk`` is already recorded for this writer, or the
+            library is a v2 merged view opened without a ``writer``.
         """
+        if not self._v2:
+            return self._append_chunk_v1(record, patterns)
+        if self.writer is None:
+            raise LibraryError(
+                f"library at {self.root} has multi-writer ledger shards; pass "
+                "writer=<id> to append to it"
+            )
+        with LibraryLock(self.root):
+            self._refresh_v2()
+            return self._append_chunk_v2(record, patterns)
+
+    def _append_chunk_v1(
+        self, record: ChunkRecord, patterns: list[SquishPattern]
+    ) -> list[SquishPattern]:
         if record.chunk in self.chunk_records:
             raise LibraryError(f"chunk {record.chunk} is already recorded")
         stored = []
@@ -284,12 +589,99 @@ class PatternLibrary:
         record.new_topology_hashes = new_topology_hashes
         if stored:
             self.shard_dir.mkdir(parents=True, exist_ok=True)
-            save_shard(self.shard_path(record.chunk), stored)
-            record.shard = self.shard_path(record.chunk).name
+            path = self.shard_path(record.chunk)
+            atomic_write_bytes(path, lambda fh: _savez_patterns(fh, stored))
+            record.shard = path.name
         else:
             record.shard = None
         self.chunk_records[record.chunk] = record
         self._write_manifest()
+        return stored
+
+    def _append_chunk_v2(
+        self, record: ChunkRecord, patterns: list[SquishPattern]
+    ) -> list[SquishPattern]:
+        """The locked body of a v2 append (state already refreshed)."""
+        if record.chunk in self.chunk_records:
+            raise LibraryError(
+                f"chunk {record.chunk} is already recorded for writer "
+                f"{self.writer!r}"
+            )
+        stored = []
+        kept_sources: list[int] = []
+        kept_clean: list[int] = []
+        skipped = 0
+        new_patterns: list[str] = []
+        new_topologies: list[str] = []
+        seen_patterns: set[str] = set()
+        seen_topologies: set[str] = set()
+        for position, pattern in enumerate(patterns):
+            digest = pattern_hash(pattern)
+            known = digest in seen_patterns or self._index.has_pattern(digest)
+            if self.dedup and known:
+                skipped += 1
+                continue
+            if not known:
+                new_patterns.append(digest)
+                seen_patterns.add(digest)
+            topo_digest = topology_hash(pattern.topology)
+            if topo_digest not in seen_topologies and not self._index.has_topology(
+                topo_digest
+            ):
+                new_topologies.append(topo_digest)
+                seen_topologies.add(topo_digest)
+            stored.append(pattern)
+            if record.pattern_sources:
+                kept_sources.append(record.pattern_sources[position])
+            if record.pattern_clean:
+                kept_clean.append(record.pattern_clean[position])
+        record.num_stored = len(stored)
+        record.duplicates_skipped = skipped
+        record.num_new_patterns = len(new_patterns)
+        record.num_new_topologies = len(new_topologies)
+        # v2 ledgers carry counts, not hash lists — the sidecar is the
+        # durable home of the per-pattern hashes.
+        record.new_pattern_hashes = []
+        record.new_topology_hashes = []
+        record.pattern_sources = kept_sources
+        record.pattern_clean = kept_clean
+        record.writer = self.writer
+        record.seq = self._next_seq()
+        record.shard_start = 0
+        if stored:
+            self.shard_dir.mkdir(parents=True, exist_ok=True)
+            path = self.shard_path(record.chunk)
+            fault_point("append:shard")
+            atomic_write_bytes(path, lambda fh: _savez_patterns(fh, stored))
+            record.shard = path.name
+            fault_point("append:sidecar")
+            write_sidecar(
+                self._sidecar_path(record.shard),
+                sidecar_arrays(
+                    stored,
+                    sources=kept_sources or None,
+                    clean=kept_clean or None,
+                ),
+            )
+        else:
+            record.shard = None
+        ledger = self._ledgers.get(self.writer)
+        if ledger is None:
+            ledger = WriterLedger(
+                writer=self.writer,
+                fingerprint=dict(self.fingerprint),
+                dedup=self.dedup,
+                chunks=[],
+            )
+            self._ledgers[self.writer] = ledger
+        ledger.chunks.append(record)
+        fault_point("append:ledger")
+        ledger.write(self.root)  # the commit point: seq becomes durable
+        self.chunk_records[record.chunk] = record
+        self._index.note_committed(record, seen_patterns, seen_topologies)
+        if self._index.should_flush():
+            fault_point("append:index-flush")
+            self._index.flush(self.records_in_order(), self._record_hashes)
         return stored
 
     # ------------------------------------------------------------------ #
@@ -298,37 +690,451 @@ class PatternLibrary:
     def load_chunk_patterns(self, chunk: int) -> list[SquishPattern]:
         """Load the stored patterns of one chunk (empty for shard-less chunks).
 
+        Resolves against this writer's chunks first (all chunks for v1); on
+        a merged v2 view a bare chunk index must be unambiguous across
+        writers — use :meth:`load_record_patterns` otherwise.
+
         Raises
         ------
         LibraryError
-            If the chunk is not in the manifest, its shard file is missing,
-            or the shard's pattern count disagrees with the manifest.
+            If the chunk is not recorded, is ambiguous, or its shard file
+            is missing/truncated.
         """
         record = self.chunk_records.get(chunk)
+        if record is None and self._v2:
+            matches = [r for r in self.records_in_order() if r.chunk == chunk]
+            if len(matches) > 1:
+                writers = sorted({r.writer or LEGACY_WRITER for r in matches})
+                raise LibraryError(
+                    f"chunk {chunk} is recorded by {len(matches)} writers "
+                    f"({', '.join(writers)}); load by record instead"
+                )
+            record = matches[0] if matches else None
         if record is None:
-            raise LibraryError(f"chunk {chunk} is not recorded in {self.manifest_path}")
-        if record.shard is None:
+            raise LibraryError(f"chunk {chunk} is not recorded in {self.root}")
+        return self.load_record_patterns(record)
+
+    def load_record_patterns(self, record: ChunkRecord) -> list[SquishPattern]:
+        """Load one record's shard slice (validated against the manifest)."""
+        if record.shard is None or record.num_stored == 0:
             return []
         path = self.shard_dir / record.shard
         if not path.exists():
-            raise LibraryError(f"shard {path} named by the manifest is missing")
-        patterns = load_shard(path)
-        if len(patterns) != record.num_stored:
             raise LibraryError(
-                f"shard {path} holds {len(patterns)} pattern(s) but the manifest "
+                f"chunk {record.chunk}: shard {path} named by the manifest is "
+                "missing"
+            )
+        try:
+            patterns, total = load_shard_slice(
+                path, record.shard_start, record.num_stored
+            )
+        except LibraryError as error:
+            raise LibraryError(f"chunk {record.chunk}: {error}") from error
+        # Per-chunk shards are owned by exactly one record, so any length
+        # disagreement is corruption; merged shards are range-checked only.
+        exclusive = not record.shard.startswith(MERGED_SHARD_PREFIX)
+        if exclusive and total != record.num_stored:
+            raise LibraryError(
+                f"shard {path} holds {total} pattern(s) but the manifest "
                 f"records {record.num_stored}"
             )
         return patterns
 
+    def iter_patterns(self):
+        """Yield every stored pattern in merged commit order, shard by shard.
+
+        Streams with one shard resident at a time — peak memory is bounded
+        by the largest shard, not the library (the
+        ``test_library_streaming`` tracemalloc gate).
+        """
+        current_shard: "str | None" = None
+        current_patterns: list[SquishPattern] = []
+        for record in self.records_in_order():
+            if record.shard is None or record.num_stored == 0:
+                continue
+            if record.shard != current_shard:
+                path = self.shard_dir / record.shard
+                if not path.exists():
+                    raise LibraryError(
+                        f"chunk {record.chunk}: shard {path} named by the "
+                        "manifest is missing"
+                    )
+                try:
+                    current_patterns = load_shard(path)
+                except LibraryError as error:
+                    raise LibraryError(f"chunk {record.chunk}: {error}") from error
+                current_shard = record.shard
+            lo = record.shard_start
+            hi = lo + record.num_stored
+            if hi > len(current_patterns):
+                raise LibraryError(
+                    f"shard {self.shard_dir / record.shard} holds "
+                    f"{len(current_patterns)} pattern(s) but the manifest "
+                    f"records {record.num_stored}"
+                )
+            yield from current_patterns[lo:hi]
+
     def load_patterns(self) -> list[SquishPattern]:
-        """Every stored pattern, in generation (chunk, position) order."""
-        patterns: list[SquishPattern] = []
-        for chunk in self.completed_chunks():
-            patterns.extend(self.load_chunk_patterns(chunk))
+        """Every stored pattern, in merged (seq, position) order."""
+        return list(self.iter_patterns())
+
+    # ------------------------------------------------------------------ #
+    # indexed query
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        complexity_band: "tuple | None" = None,
+        rule_regime: "str | None" = None,
+        topology_hash: "str | None" = None,
+        writer: "str | None" = None,
+    ) -> list[PatternHandle]:
+        """Indexed pattern lookup returning lazy :class:`PatternHandle`\\ s.
+
+        Filters compose (AND); none loads a shard — selection runs entirely
+        over the index sidecars (or, for an unmigrated v1 record, a one-off
+        in-memory recomputation that is never written back):
+
+        * ``complexity_band=(lo, hi)`` — inclusive band on the canonical
+          total complexity ``cx + cy`` (either bound may be ``None``).
+        * ``rule_regime`` — substring match against the owning writer's run
+          fingerprint (e.g. a rule-set repr fragment like ``"min_space=2"``),
+          selecting the patterns generated under that regime.
+        * ``topology_hash`` — exact topology digest; the index answers
+          definite misses without touching any sidecar.
+        * ``writer`` — restrict to one writer's chunks.
+        """
+        if topology_hash is not None and self._v2:
+            if not self._index.has_topology(topology_hash):
+                return []
+        lo, hi = (None, None) if complexity_band is None else complexity_band
+        handles: list[PatternHandle] = []
+        for record in self.records_in_order():
+            if record.shard is None or record.num_stored == 0:
+                continue
+            if writer is not None and (record.writer or LEGACY_WRITER) != writer:
+                continue
+            if rule_regime is not None and not self._regime_matches(
+                record, rule_regime
+            ):
+                continue
+            meta = self._record_metadata(record)
+            topo_hashes = meta["topology_hash"]
+            if topology_hash is not None:
+                positions = np.flatnonzero(
+                    topo_hashes == np.asarray(topology_hash.encode(), dtype="S40")
+                )
+            else:
+                positions = np.arange(record.num_stored)
+            if positions.size == 0:
+                continue
+            cx, cy = meta["cx"], meta["cy"]
+            p_hashes = meta["pattern_hash"]
+            for position in positions:
+                position = int(position)
+                total = int(cx[position]) + int(cy[position])
+                if lo is not None and total < lo:
+                    continue
+                if hi is not None and total > hi:
+                    continue
+                handles.append(
+                    PatternHandle(
+                        record=record,
+                        position=position,
+                        pattern_hash=bytes(p_hashes[position]).decode(),
+                        topology_hash=bytes(topo_hashes[position]).decode(),
+                        cx=int(cx[position]),
+                        cy=int(cy[position]),
+                        library=self,
+                    )
+                )
+        return handles
+
+    def _regime_matches(self, record: ChunkRecord, rule_regime: str) -> bool:
+        if self._v2:
+            ledger = self._ledgers.get(record.writer or LEGACY_WRITER)
+            fingerprint = ledger.fingerprint if ledger is not None else {}
+        else:
+            fingerprint = self.fingerprint
+        return rule_regime in json.dumps(fingerprint, sort_keys=True)
+
+    def _load_handle(self, handle: PatternHandle) -> SquishPattern:
+        patterns = self._shard_patterns(handle.record.shard)
+        index = handle.record.shard_start + handle.position
+        if index >= len(patterns):
+            raise LibraryError(
+                f"shard {handle.record.shard} holds {len(patterns)} pattern(s) "
+                f"but handle addresses position {index}"
+            )
+        return patterns[index]
+
+    def _shard_patterns(self, shard_name: str) -> list[SquishPattern]:
+        """Whole-shard load through a small LRU (lazy handle backing)."""
+        cached = self._shard_cache.get(shard_name)
+        if cached is not None:
+            self._shard_cache.move_to_end(shard_name)
+            return cached
+        patterns = load_shard(self.shard_dir / shard_name)
+        self._shard_cache[shard_name] = patterns
+        while len(self._shard_cache) > _SHARD_CACHE_SIZE:
+            self._shard_cache.popitem(last=False)
         return patterns
 
     # ------------------------------------------------------------------ #
-    # manifest plumbing
+    # compaction
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        target_shard_patterns: int = 512,
+        drop_duplicates: "bool | None" = None,
+    ) -> CompactionReport:
+        """Merge small shards, drop superseded duplicates, rewrite the index.
+
+        Runs under the library lock.  A pure-v1 library is migrated to the
+        v2 layout first (its ``manifest.json`` becomes
+        ``manifests/legacy.json`` with sidecars computed for every shard —
+        the only operation that rewrites a v1 library).  Records keep their
+        ``seq``; small consecutive records are packed into ``merged_*.npz``
+        shards of up to ``target_shard_patterns`` patterns each.  With
+        ``drop_duplicates`` (default: the library's dedup flag) any pattern
+        whose hash already appeared earlier in commit order is removed.
+
+        Crash safety: new shards and sidecars are committed before any
+        ledger references them; the index is invalidated *before* a
+        dropping rewrite (a stale index would report dropped hashes as
+        present) and fully rebuilt at the end; obsolete shard files are
+        deleted only after every ledger has been rewritten.
+        """
+        with LibraryLock(self.root):
+            self._v2 = True
+            if self._index is None:
+                self._index = LibraryIndex(self.root)
+            self._refresh_v2()
+            drop = self.dedup if drop_duplicates is None else bool(drop_duplicates)
+            records = self.records_in_order()
+            report = CompactionReport(records=len(records))
+            if self._legacy_unmigrated:
+                report.migrated = len(self._ledgers[LEGACY_WRITER].chunks)
+
+            old_shards = {r.shard for r in records if r.shard is not None}
+            report.shards_before = len(old_shards)
+            shard_refs: dict[str, int] = {}
+            for record in records:
+                if record.shard is not None:
+                    shard_refs[record.shard] = shard_refs.get(record.shard, 0) + 1
+            next_merged = self._next_merged_shard_index()
+
+            keep_shards: set[str] = set()
+            pending: list[tuple[ChunkRecord, list[int]]] = []
+            pending_size = 0
+
+            def flush_pending() -> None:
+                nonlocal pending, pending_size, next_merged
+                if not pending:
+                    return
+                name = f"{MERGED_SHARD_PREFIX}{next_merged:05d}.npz"
+                next_merged += 1
+                report.merged_shards_written += 1
+                merged_patterns: list[SquishPattern] = []
+                merged_meta: list[dict[str, np.ndarray]] = []
+                # Load everything against the *old* layout first; only then
+                # repoint the records at the merged shard.
+                slices = []
+                for record, kept in pending:
+                    patterns = self.load_record_patterns(record)
+                    meta = self._record_metadata(record)
+                    slices.append((record, kept, patterns, meta))
+                offset = 0
+                for record, kept, patterns, meta in slices:
+                    merged_patterns.extend(patterns[i] for i in kept)
+                    merged_meta.append(
+                        {key: value[kept] for key, value in meta.items()}
+                    )
+                    self._apply_drop(record, kept)
+                    record.shard = name
+                    record.shard_start = offset
+                    offset += len(kept)
+                fault_point("compact:merged-shard")
+                atomic_write_bytes(
+                    self.shard_dir / name,
+                    lambda fh: _savez_patterns(fh, merged_patterns),
+                )
+                keys = merged_meta[0].keys() if merged_meta else []
+                shared = [
+                    key for key in keys if all(key in m for m in merged_meta)
+                ]
+                fault_point("compact:merged-sidecar")
+                write_sidecar(
+                    self._sidecar_path(name),
+                    {
+                        key: np.concatenate([m[key] for m in merged_meta])
+                        for key in shared
+                    },
+                )
+                pending = []
+                pending_size = 0
+
+            seen: set[str] = set()
+            plans: list[tuple[ChunkRecord, list[int]]] = []
+            for record in records:
+                self._migrate_record_counts(record)
+                if record.shard is None or record.num_stored == 0:
+                    record.shard = None
+                    record.shard_start = 0
+                    continue
+                if drop:
+                    meta = self._record_metadata(record)
+                    kept = []
+                    for position, digest in enumerate(meta["pattern_hash"]):
+                        digest = bytes(digest).decode()
+                        if digest in seen:
+                            report.patterns_dropped += 1
+                        else:
+                            seen.add(digest)
+                            kept.append(position)
+                else:
+                    kept = list(range(record.num_stored))
+                plans.append((record, kept))
+
+            # Consecutive records sharing one shard form a group; a group
+            # that keeps every pattern, covers its shard completely and
+            # already meets the target is left in place (what makes a
+            # second compact() a no-op instead of a full rewrite).
+            groups: list[tuple[str, list[tuple[ChunkRecord, list[int]]]]] = []
+            for record, kept in plans:
+                if groups and groups[-1][0] == record.shard:
+                    groups[-1][1].append((record, kept))
+                else:
+                    groups.append((record.shard, [(record, kept)]))
+            for shard_name, members in groups:
+                unchanged = all(len(k) == r.num_stored for r, k in members)
+                total_kept = sum(len(k) for _, k in members)
+                if (
+                    unchanged
+                    and shard_refs[shard_name] == len(members)
+                    and total_kept >= target_shard_patterns
+                    and self._shard_fully_covered(shard_name, members)
+                ):
+                    # Healthy full shard: keep in place, just ensure the
+                    # sidecar exists for index rebuild / query.
+                    if load_sidecar(self._sidecar_path(shard_name)) is None:
+                        (record, _), = members
+                        write_sidecar(
+                            self._sidecar_path(shard_name),
+                            self._record_metadata(record),
+                        )
+                    keep_shards.add(shard_name)
+                    continue
+                for record, kept in members:
+                    if not kept:
+                        self._apply_drop(record, kept)
+                        record.shard = None
+                        record.shard_start = 0
+                        continue
+                    pending.append((record, kept))
+                    pending_size += len(kept)
+                    if pending_size >= target_shard_patterns:
+                        flush_pending()
+            flush_pending()
+
+            if report.patterns_dropped:
+                # Dropped hashes would survive as stale positives in the
+                # merged files — invalidate before any ledger references
+                # the rewritten slices.
+                fault_point("compact:index-invalidate")
+                self._index.invalidate()
+            for writer_id in sorted(self._ledgers):
+                fault_point(f"compact:ledger:{writer_id}")
+                self._ledgers[writer_id].write(self.root)
+            if self._legacy_unmigrated and self.manifest_path.exists():
+                # manifests/legacy.json now supersedes it (readers prefer
+                # the ledger whenever both exist).
+                fault_point("compact:drop-manifest")
+                self.manifest_path.unlink()
+            retired = old_shards - keep_shards
+            for shard_name in sorted(retired):
+                for stale in (
+                    self.shard_dir / shard_name,
+                    self._sidecar_path(shard_name),
+                ):
+                    fault_point(f"compact:unlink:{stale.name}")
+                    stale.unlink(missing_ok=True)
+            fault_point("compact:index-rebuild")
+            self._index.rebuild(self.records_in_order(), self._record_hashes)
+            self._refresh_v2()
+            report.shards_after = len(
+                {r.shard for r in self.records_in_order() if r.shard is not None}
+            )
+            return report
+
+    def _shard_fully_covered(self, shard_name: str, members) -> bool:
+        """Do ``members``' slices tile the whole shard contiguously from 0?"""
+        offset = 0
+        for start, count in sorted((r.shard_start, r.num_stored) for r, _ in members):
+            if start != offset:
+                return False
+            offset += count
+        sidecar = load_sidecar(self._sidecar_path(shard_name))
+        if sidecar is None:
+            # An exclusive per-chunk shard's length is validated against
+            # num_stored on every load; merged shards without a sidecar are
+            # rewritten rather than trusted.
+            return len(members) == 1 and not shard_name.startswith(
+                MERGED_SHARD_PREFIX
+            )
+        return int(sidecar["pattern_hash"].size) == offset
+
+    @staticmethod
+    def _migrate_record_counts(record: ChunkRecord) -> None:
+        """Freeze a legacy record's introduced counts and drop its hash lists
+        (their v2 home is the sidecar written alongside)."""
+        if record.num_new_patterns < 0:
+            record.num_new_patterns = len(record.new_pattern_hashes)
+        if record.num_new_topologies < 0:
+            record.num_new_topologies = len(record.new_topology_hashes)
+        record.new_pattern_hashes = []
+        record.new_topology_hashes = []
+
+    @staticmethod
+    def _apply_drop(record: ChunkRecord, kept: list[int]) -> None:
+        """Account a compaction keep-list into the record's stored stats."""
+        dropped = record.num_stored - len(kept)
+        if dropped <= 0:
+            return
+        if record.pattern_clean:
+            record.pattern_clean = [record.pattern_clean[i] for i in kept]
+            record.num_clean = sum(1 for c in record.pattern_clean if c)
+        else:
+            record.num_clean = min(record.num_clean, len(kept))
+        if record.pattern_sources:
+            record.pattern_sources = [record.pattern_sources[i] for i in kept]
+        record.num_stored = len(kept)
+        record.duplicates_skipped += dropped
+
+    def _next_merged_shard_index(self) -> int:
+        if not self.shard_dir.is_dir():
+            return 0
+        highest = -1
+        for path in self.shard_dir.glob(f"{MERGED_SHARD_PREFIX}*.npz"):
+            stem = path.name[len(MERGED_SHARD_PREFIX) : -len(".npz")]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        return highest + 1
+
+    def rebuild_index(self) -> dict:
+        """Regenerate the on-disk index from the ledgers/shards (locked)."""
+        if not self._v2:
+            raise LibraryError(
+                "a pure v1 library has no on-disk index; open it with "
+                "writer=<id> or compact() it first"
+            )
+        with LibraryLock(self.root):
+            self._refresh_v2()
+            self._index.rebuild(self.records_in_order(), self._record_hashes)
+            self._refresh_v2()
+            return self._index.stats()
+
+    # ------------------------------------------------------------------ #
+    # manifest plumbing (v1)
     # ------------------------------------------------------------------ #
     def _write_manifest(self) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -336,22 +1142,28 @@ class PatternLibrary:
             "version": MANIFEST_VERSION,
             "fingerprint": self.fingerprint,
             "dedup": self.dedup,
-            "chunks": [record.as_dict() for record in self.records_in_order()],
+            "chunks": [record.as_dict() for record in self.own_records()],
         }
-        tmp_path = self.manifest_path.with_suffix(".json.tmp")
-        tmp_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
-        os.replace(tmp_path, self.manifest_path)
+        atomic_write_text(
+            self.manifest_path, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
 
-    def _load_manifest(self) -> None:
+    def _read_manifest_payload(self) -> dict:
         try:
             payload = json.loads(self.manifest_path.read_text())
         except (OSError, json.JSONDecodeError) as error:
-            raise LibraryError(f"cannot read manifest {self.manifest_path}: {error}") from error
+            raise LibraryError(
+                f"cannot read manifest {self.manifest_path}: {error}"
+            ) from error
         if payload.get("version") != MANIFEST_VERSION:
             raise LibraryError(
                 f"manifest {self.manifest_path} has unsupported version "
                 f"{payload.get('version')!r} (expected {MANIFEST_VERSION})"
             )
+        return payload
+
+    def _load_manifest(self) -> None:
+        payload = self._read_manifest_payload()
         self.fingerprint = payload.get("fingerprint", {})
         # The persisted mode wins: continuing a deduplicated library without
         # dedup (or vice versa) would silently change what gets stored.
@@ -371,37 +1183,79 @@ class PatternLibrary:
 # --------------------------------------------------------------------------- #
 # shard codec
 # --------------------------------------------------------------------------- #
+def _savez_patterns(file_obj, patterns: list[SquishPattern]) -> None:
+    arrays: dict[str, np.ndarray] = {
+        "count": np.asarray(len(patterns), dtype=np.int64)
+    }
+    for index, pattern in enumerate(patterns):
+        for key, value in pattern.as_arrays().items():
+            arrays[f"p{index}_{key}"] = value
+    np.savez_compressed(file_obj, **arrays)
+
+
 def save_shard(path: "str | Path", patterns: list[SquishPattern]) -> None:
     """Write many patterns to one ``.npz`` shard (lossless).
 
     Uses the single-pattern :meth:`SquishPattern.as_arrays` codec under
     ``p<i>_`` key prefixes plus a ``count`` array.
     """
-    arrays: dict[str, np.ndarray] = {"count": np.asarray(len(patterns), dtype=np.int64)}
-    for index, pattern in enumerate(patterns):
-        for key, value in pattern.as_arrays().items():
-            arrays[f"p{index}_{key}"] = value
-    np.savez_compressed(path, **arrays)
+    with open(path, "wb") as handle:
+        _savez_patterns(handle, patterns)
+
+
+def load_shard_slice(
+    path: "str | Path", start: int, count: int
+) -> tuple[list[SquishPattern], int]:
+    """Load ``count`` patterns at offset ``start`` of one shard.
+
+    Returns ``(patterns, total)`` where ``total`` is the shard's full
+    pattern count (callers validate it against their manifest record).
+    """
+    try:
+        with np.load(path) as data:
+            if "count" not in data.files:
+                raise LibraryError(f"{path} is not a pattern shard (no count array)")
+            total = int(data["count"])
+            if start + count > total:
+                raise LibraryError(
+                    f"shard {path} holds {total} pattern(s); cannot load "
+                    f"{count} at offset {start}"
+                )
+            patterns = []
+            for index in range(start, start + count):
+                prefix = f"p{index}_"
+                arrays = {
+                    key.removeprefix(prefix): data[key]
+                    for key in data.files
+                    if key.startswith(prefix)
+                }
+                try:
+                    patterns.append(
+                        SquishPattern.from_arrays(arrays, source=f"{path}[{index}]")
+                    )
+                except ValueError as error:
+                    raise LibraryError(str(error)) from error
+    except LibraryError:
+        raise
+    except Exception as error:  # torn zip/npy members surface many ways
+        raise LibraryError(
+            f"shard {path} is truncated or corrupt ({error})"
+        ) from error
+    return patterns, total
 
 
 def load_shard(path: "str | Path") -> list[SquishPattern]:
     """Load the patterns of one shard written by :func:`save_shard`."""
-    with np.load(path) as data:
-        if "count" not in data.files:
-            raise LibraryError(f"{path} is not a pattern shard (no count array)")
-        count = int(data["count"])
-        patterns = []
-        for index in range(count):
-            prefix = f"p{index}_"
-            arrays = {
-                key.removeprefix(prefix): data[key]
-                for key in data.files
-                if key.startswith(prefix)
-            }
-            try:
-                patterns.append(
-                    SquishPattern.from_arrays(arrays, source=f"{path}[{index}]")
-                )
-            except ValueError as error:
-                raise LibraryError(str(error)) from error
+    try:
+        with np.load(path) as data:
+            if "count" not in data.files:
+                raise LibraryError(f"{path} is not a pattern shard (no count array)")
+            total = int(data["count"])
+    except LibraryError:
+        raise
+    except Exception as error:
+        raise LibraryError(
+            f"shard {path} is truncated or corrupt ({error})"
+        ) from error
+    patterns, _ = load_shard_slice(path, 0, total)
     return patterns

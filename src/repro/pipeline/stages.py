@@ -365,7 +365,10 @@ class GenerationGraph:
         Optional :class:`~repro.library.PatternLibrary`.  Every completed
         chunk is persisted (shard + manifest record); with ``resume=True``
         chunks already in the manifest are folded from disk instead of
-        re-generated.
+        re-generated.  A library opened with ``writer=<id>`` appends under
+        the shared library lock, so several graphs (or serve workers) can
+        grow one library concurrently — each run resumes against its own
+        writer ledger.
     on_chunk:
         Optional callback invoked with each live :class:`StreamChunk` right
         after it has been folded into the run (and, when a library is
@@ -639,7 +642,7 @@ class GenerationGraph:
         acc.pattern_histogram.merge(
             ComplexityHistogram.from_records(record.pattern_complexity_counts)
         )
-        acc.patterns.extend(self.library.load_chunk_patterns(record.chunk))
+        acc.patterns.extend(self.library.load_record_patterns(record))
         stats = record.stats
         if stats:
             resumed_stats.merge(

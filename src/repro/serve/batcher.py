@@ -30,7 +30,7 @@ import hashlib
 import threading
 from dataclasses import dataclass, field
 
-from ..library import pattern_hash
+from ..library import ChunkRecord, LibraryError, PatternLibrary, pattern_hash
 from ..pipeline import DiffPatternPipeline
 from ..utils import as_rng
 
@@ -106,17 +106,42 @@ class StreamBatcher:
         Upper bound on samples per coalesced :meth:`advance` call (a memory
         knob, like the graph's ``chunk_size`` — output is identical for any
         value).
+    library_root:
+        Optional directory of a (possibly shared) v2
+        :class:`~repro.library.PatternLibrary`.  The batcher becomes writer
+        ``serve-<stream key>`` of that library: every generated chunk is
+        persisted with per-pattern source/DRC attribution, and on warmup the
+        writer's committed chunks are restored into the pattern cache — the
+        stream fast-forwards over them — so repeat windows survive a server
+        restart, and concurrently running servers/CLI runs grow one library.
+    metrics:
+        Optional :class:`~repro.serve.ServeMetrics` receiving the library
+        restore/persist counters.
     """
 
-    def __init__(self, plan, pipeline_factory=None, max_batch: int = 64) -> None:
+    def __init__(
+        self,
+        plan,
+        pipeline_factory=None,
+        max_batch: int = 64,
+        library_root=None,
+        metrics=None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.plan = plan
         self.key = stream_key(plan)
         self.max_batch = int(max_batch)
+        self.library_root = library_root
+        self.metrics = metrics
         self._pipeline_factory = pipeline_factory or _default_pipeline_factory
         self._lock = threading.Lock()
         self._stream = None
+        self._library = None
+        #: Samples recovered from the persistent library at warmup.
+        self.restored_samples = 0
+        #: Chunks committed to the persistent library by this batcher.
+        self.persisted_chunks = 0
         #: Next unclaimed sample index (grows at reservation time).
         self.reserved = 0
         #: Samples generated so far (grows as chunks complete).
@@ -148,6 +173,107 @@ class StreamBatcher:
         # Resolves the same two base seeds the one-shot run draws from the
         # post-training generator: bit-identity with `repro generate`.
         self._stream = graph.open_stream(gen)
+        if self.library_root is not None:
+            self._attach_library()
+
+    # ------------------------------------------------------------------ #
+    # persistent backing
+    # ------------------------------------------------------------------ #
+    @property
+    def writer_id(self) -> str:
+        """This stream's writer identity in the shared pattern library."""
+        return f"serve-{self.key[:12]}"
+
+    def _library_fingerprint(self) -> dict:
+        """The resume-safety identity of this served stream.
+
+        The graph fingerprint pins seeds/rules/knobs (``num_samples`` is -1:
+        a served stream is open-ended); the stream key pins the scenario
+        identity the server groups by.
+        """
+        stream = self._stream
+        fingerprint = stream.graph.fingerprint(
+            -1, stream.sample_seed, stream.legal_seed
+        )
+        fingerprint["stream_key"] = self.key
+        return fingerprint
+
+    def _attach_library(self) -> None:
+        """Bind the stream's writer ledger and restore its cached chunks.
+
+        Restored chunks replay exactly like live ones — patterns enter the
+        shared store, the window ledger's ``done`` frontier advances, and
+        the stream's counters skip forward — so a window served before the
+        restart is answered from the cache, bit-identical, without touching
+        the engines.
+        """
+        library = PatternLibrary(self.library_root, writer=self.writer_id)
+        records = library.bind(self._library_fingerprint(), resume=True)
+        stream = self._stream
+        with self._lock:
+            for record in records:
+                patterns = library.load_record_patterns(record)
+                if not (
+                    len(record.pattern_sources)
+                    == len(record.pattern_clean)
+                    == len(patterns)
+                ):
+                    raise LibraryError(
+                        f"chunk {record.chunk} of writer {self.writer_id!r} "
+                        "carries no per-pattern attribution; the library was "
+                        "not written by a serve batcher"
+                    )
+                cached = CachedChunk(
+                    start=record.start, end=record.start + record.num_sampled
+                )
+                for pattern, source, flag in zip(
+                    patterns, record.pattern_sources, record.pattern_clean
+                ):
+                    digest = pattern_hash(pattern)
+                    self._patterns.setdefault(digest, pattern)
+                    cached.hashes.append(digest)
+                    cached.sources.append(int(source))
+                    cached.clean.append(bool(flag))
+                self._chunks.append(cached)
+                stream.skip_record(record)
+                self.done = cached.end
+                self.restored_samples += record.num_sampled
+        self._library = library
+        if self.metrics is not None and self.restored_samples:
+            self.metrics.record_library_restored(self.restored_samples)
+
+    def _persist_chunk(self, chunk) -> None:
+        """Commit one generated chunk to the shared library (with attribution)."""
+        stats = chunk.legalization_report.stats
+        record = ChunkRecord(
+            chunk=chunk.chunk,
+            start=chunk.start,
+            num_sampled=chunk.size,
+            num_kept=len(chunk.kept),
+            num_rejected=chunk.num_rejected,
+            unsolved=chunk.unsolved,
+            num_patterns=len(chunk.chunk_patterns),
+            num_stored=0,
+            duplicates_skipped=0,
+            num_clean=chunk.num_clean,
+            shard=None,
+            topology_complexity_counts=chunk.topology_histogram.as_records(),
+            pattern_complexity_counts=chunk.pattern_histogram.as_records(),
+            stats={
+                "attempted": stats.attempted,
+                "solved": stats.solved,
+                "failed": stats.failed,
+                "solutions": stats.solutions,
+                "total_iterations": stats.total_iterations,
+                "total_solver_time": stats.total_solver_time,
+            },
+            pattern_sources=[int(source) for source in chunk.pattern_sources],
+            pattern_clean=[int(bool(flag)) for flag in chunk.clean_mask],
+        )
+        self._library.append_chunk(record, chunk.patterns)
+        self.persisted_chunks += 1
+        if self.metrics is not None:
+            self.metrics.record_library_persisted(len(chunk.patterns))
 
     # ------------------------------------------------------------------ #
     # window ledger
@@ -189,6 +315,10 @@ class StreamBatcher:
         if self._stream is None:
             raise RuntimeError("StreamBatcher.advance before ensure_ready")
         chunk = self._stream.advance(size)
+        if self._library is not None:
+            # Commit before exposing: a chunk a client has seen is always
+            # recoverable after a restart.
+            self._persist_chunk(chunk)
         record = CachedChunk(start=chunk.start, end=chunk.end)
         with self._lock:
             for pattern, source, clean in zip(

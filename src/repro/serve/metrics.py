@@ -59,6 +59,9 @@ class ServeMetrics:
         self.samples_generated = 0
         self.samples_cached = 0
         self.queue_depth = 0
+        self.library_restored_samples = 0
+        self.library_persisted_chunks = 0
+        self.library_persisted_patterns = 0
         self.legalize_attempted = 0
         self.legalize_solved = 0
         self.legalize_solutions = 0
@@ -103,6 +106,17 @@ class ServeMetrics:
         with self._lock:
             self.samples_cached += int(num_samples)
 
+    def record_library_restored(self, num_samples: int) -> None:
+        """A stream warmup recovered ``num_samples`` from the pattern library."""
+        with self._lock:
+            self.library_restored_samples += int(num_samples)
+
+    def record_library_persisted(self, num_patterns: int) -> None:
+        """One generated chunk was committed to the persistent library."""
+        with self._lock:
+            self.library_persisted_chunks += 1
+            self.library_persisted_patterns += int(num_patterns)
+
     def record_legalization(self, stats) -> None:
         """Fold one chunk's :class:`~repro.legalization.LegalizationStats` in."""
         with self._lock:
@@ -142,6 +156,9 @@ class ServeMetrics:
                 "samples_generated": self.samples_generated,
                 "samples_cached": self.samples_cached,
                 "cache_hit_rate": (self.samples_cached / served) if served else 0.0,
+                "library_restored_samples": self.library_restored_samples,
+                "library_persisted_chunks": self.library_persisted_chunks,
+                "library_persisted_patterns": self.library_persisted_patterns,
                 "legalize_attempted": self.legalize_attempted,
                 "legalize_solved": self.legalize_solved,
                 "legalize_solutions": self.legalize_solutions,

@@ -231,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="largest coalesced sampling/legalization batch (memory knob)",
     )
+    parser.add_argument(
+        "--library",
+        type=Path,
+        default=None,
+        help=(
+            "pattern-library directory backing the serve cache: generated "
+            "chunks are persisted per stream writer and restored on restart"
+        ),
+    )
     return parser
 
 
@@ -260,7 +269,10 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     service = GenerationService(
-        registry=registry, max_pending=args.max_pending, max_batch=args.max_batch
+        registry=registry,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        library_root=args.library,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     try:

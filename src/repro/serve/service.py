@@ -147,6 +147,13 @@ class GenerationService:
         pre-trained pipelines).
     metrics:
         A :class:`~repro.serve.ServeMetrics`; a fresh one by default.
+    library_root:
+        Optional directory of a shared v2
+        :class:`~repro.library.PatternLibrary`.  Each stream batcher
+        becomes a writer of that library: generated chunks are persisted
+        with per-pattern attribution and restored into the pattern cache on
+        warmup, so the serve cache survives restarts and many servers/CLI
+        runs can grow one library concurrently.
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class GenerationService:
         max_batch: int = 64,
         pipeline_factory=None,
         metrics: "ServeMetrics | None" = None,
+        library_root=None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -166,6 +174,7 @@ class GenerationService:
         self.max_batch = int(max_batch)
         self.pipeline_factory = pipeline_factory
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.library_root = library_root
         self._batchers: "dict[str, StreamBatcher]" = {}
         self._queue: "deque[RequestTicket]" = deque()
         self._wake = asyncio.Event()
@@ -269,7 +278,13 @@ class GenerationService:
         return ticket
 
     def _batcher_for(self, plan) -> StreamBatcher:
-        probe = StreamBatcher(plan, self.pipeline_factory, max_batch=self.max_batch)
+        probe = StreamBatcher(
+            plan,
+            self.pipeline_factory,
+            max_batch=self.max_batch,
+            library_root=self.library_root,
+            metrics=self.metrics,
+        )
         existing = self._batchers.get(probe.key)
         if existing is not None:
             return existing

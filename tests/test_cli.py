@@ -172,3 +172,59 @@ class TestServeWiring:
         assert out.count("servable (") >= 7
         assert "fast warmup on first request" in out
         assert "heavy warmup, trains at first request" in out
+
+
+class TestV2CliSurface:
+    @pytest.fixture(scope="class")
+    def v2_library(self, tmp_path_factory, smoke_args):
+        out = tmp_path_factory.mktemp("cli-v2") / "lib"
+        code = main(
+            ["generate", "--scenario", "smoke", "--out", str(out),
+             "--writer", "alpha", "--dedup", *smoke_args]
+        )
+        assert code == 0
+        return out
+
+    def test_writer_flag_builds_v2_layout(self, v2_library):
+        assert (v2_library / "manifests" / "alpha.json").exists()
+        assert not (v2_library / "manifest.json").exists()
+
+    def test_writer_without_out_rejected(self, smoke_args, capsys):
+        code = main(["generate", "--scenario", "smoke", "--writer", "w", *smoke_args])
+        assert code == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_inspect_shows_v2_layout_and_query(self, v2_library, capsys):
+        code = main(
+            ["inspect-library", str(v2_library), "--chunks", "--band", "0:",
+             "--limit", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "v2 (sharded" in out
+        assert "alpha" in out
+        assert "index" in out
+        assert "query matched" in out
+        assert "seq" in out
+
+    def test_inspect_bad_band_is_a_clean_error(self, v2_library, capsys):
+        assert main(["inspect-library", str(v2_library), "--band", "oops"]) == 1
+        assert "--band" in capsys.readouterr().err
+
+    def test_compact_library_roundtrip(self, v2_library, capsys):
+        before = PatternLibrary(v2_library).num_patterns
+        code = main(["compact-library", str(v2_library)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compacted pattern library" in out
+        assert PatternLibrary(v2_library).num_patterns == before
+        # inspecting after compaction still works end to end
+        assert main(["inspect-library", str(v2_library)]) == 0
+
+    def test_compact_missing_library_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["compact-library", str(tmp_path / "nope")]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_serve_parser_takes_library(self):
+        args = build_parser().parse_args(["serve", "--library", "/tmp/lib"])
+        assert str(args.library) == "/tmp/lib"

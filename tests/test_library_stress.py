@@ -1,0 +1,129 @@
+"""Multi-process concurrent-writer stress test for the v2 pattern library.
+
+Several OS processes append overlapping pattern chunks to one library at
+once (released together by a barrier to maximise lock contention).  The
+library's claim is that lock-serialised appends make any concurrent
+interleaving equivalent to the serial execution in recorded ``seq`` order —
+so the test replays the committed records serially into a fresh library and
+asserts the two are **bit-identical**: same per-writer ledger bytes, same
+pattern sequence, same dedup decisions, same summary stats.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.library import ChunkRecord, PatternLibrary, pattern_hash
+from repro.library.manifest import ledger_path
+from repro.squish import SquishPattern
+
+NUM_WRITERS = 3
+CHUNKS_PER_WRITER = 4
+PATTERNS_PER_CHUNK = 3
+
+
+def make_pattern(fill: int, size: int = 4, step: int = 32) -> SquishPattern:
+    topo = np.zeros((size, size), dtype=np.uint8)
+    topo[1 : 1 + (fill % (size - 1)) + 0, 1:3] = 1
+    topo[0, fill % size] = 1
+    delta = np.full(size, step, dtype=np.int64)
+    return SquishPattern(topo, delta, delta + fill)
+
+
+def chunk_fills(writer_index: int, chunk: int) -> list[int]:
+    """Deterministic, heavily overlapping fills: most patterns collide
+    across writers, so cross-writer dedup is exercised under contention."""
+    base = writer_index * 2 + chunk * 3
+    return [(base + offset) % 7 for offset in range(PATTERNS_PER_CHUNK)]
+
+
+def build_record(chunk: int, patterns: list[SquishPattern]) -> ChunkRecord:
+    return ChunkRecord(
+        chunk=chunk,
+        start=chunk * PATTERNS_PER_CHUNK,
+        num_sampled=PATTERNS_PER_CHUNK,
+        num_kept=len(patterns),
+        num_rejected=0,
+        unsolved=0,
+        num_patterns=len(patterns),
+        num_stored=0,
+        duplicates_skipped=0,
+        num_clean=len(patterns),
+        shard=None,
+        pattern_complexity_counts=[[2, 2, len(patterns)]],
+    )
+
+
+def writer_process(root, writer_index: int, barrier) -> None:
+    library = PatternLibrary(root, dedup=True, writer=f"w{writer_index}")
+    barrier.wait(timeout=60)
+    for chunk in range(CHUNKS_PER_WRITER):
+        patterns = [make_pattern(f) for f in chunk_fills(writer_index, chunk)]
+        library.append_chunk(build_record(chunk, patterns), patterns)
+
+
+@pytest.mark.parametrize("round_trip", range(2))  # two rounds: interleavings vary
+def test_concurrent_writers_match_serial_replay(tmp_path, round_trip):
+    concurrent_root = tmp_path / "concurrent"
+    context = multiprocessing.get_context("spawn")
+    barrier = context.Barrier(NUM_WRITERS)
+    processes = [
+        context.Process(
+            target=writer_process, args=(concurrent_root, index, barrier)
+        )
+        for index in range(NUM_WRITERS)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+
+    merged = PatternLibrary(concurrent_root)
+    records = merged.records_in_order()
+    assert len(records) == NUM_WRITERS * CHUNKS_PER_WRITER
+
+    # the lock hands out a gap-free global commit order
+    assert [record.seq for record in records] == list(range(len(records)))
+
+    # merged view is exactly the union of the per-writer ledgers
+    assert merged.writers == [f"w{i}" for i in range(NUM_WRITERS)]
+    for index in range(NUM_WRITERS):
+        own = [r for r in records if r.writer == f"w{index}"]
+        assert [r.chunk for r in own] == list(range(CHUNKS_PER_WRITER))
+
+    # Replay the committed interleaving serially (one process, seq order)
+    # into a fresh library: everything must come out bit-identical.
+    serial_root = tmp_path / "serial"
+    serial_writers = {
+        f"w{i}": PatternLibrary(serial_root, dedup=True, writer=f"w{i}")
+        for i in range(NUM_WRITERS)
+    }
+    for record in records:
+        writer_index = int(record.writer[1:])
+        patterns = [make_pattern(f) for f in chunk_fills(writer_index, record.chunk)]
+        serial_writers[record.writer].append_chunk(
+            build_record(record.chunk, patterns), patterns
+        )
+
+    for index in range(NUM_WRITERS):
+        concurrent_bytes = ledger_path(concurrent_root, f"w{index}").read_bytes()
+        serial_bytes = ledger_path(serial_root, f"w{index}").read_bytes()
+        assert concurrent_bytes == serial_bytes
+
+    serial = PatternLibrary(serial_root)
+    assert [pattern_hash(p) for p in merged.load_patterns()] == [
+        pattern_hash(p) for p in serial.load_patterns()
+    ]
+    assert merged.summary() == serial.summary()
+
+    # every distinct pattern is stored exactly once despite the collisions
+    hashes = [pattern_hash(p) for p in merged.load_patterns()]
+    assert len(hashes) == len(set(hashes)) == 7
+    assert (
+        sum(r.duplicates_skipped for r in records)
+        == NUM_WRITERS * CHUNKS_PER_WRITER * PATTERNS_PER_CHUNK - 7
+    )

@@ -1,0 +1,462 @@
+"""Tests for the sharded v2 pattern library: ledgers, index, query, compaction."""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.library import (
+    LEGACY_WRITER,
+    MANIFEST_DIR,
+    BloomFilter,
+    ChunkRecord,
+    LibraryError,
+    LibraryLock,
+    PatternLibrary,
+    pattern_hash,
+    topology_hash,
+)
+from repro.library.manifest import (
+    ledger_path,
+    load_ledger,
+    scan_ledgers,
+    validate_writer_id,
+)
+from repro.squish import SquishPattern
+
+
+def make_pattern(fill: int, size: int = 4, step: int = 32) -> SquishPattern:
+    topo = np.zeros((size, size), dtype=np.uint8)
+    topo[1 : 1 + (fill % (size - 1)) + 0, 1:3] = 1
+    topo[0, fill % size] = 1
+    delta = np.full(size, step, dtype=np.int64)
+    return SquishPattern(topo, delta, delta + fill)
+
+
+def make_record(chunk: int, patterns: list[SquishPattern], **overrides) -> ChunkRecord:
+    defaults = dict(
+        chunk=chunk,
+        start=chunk * 4,
+        num_sampled=4,
+        num_kept=len(patterns),
+        num_rejected=4 - min(4, len(patterns)),
+        unsolved=0,
+        num_patterns=len(patterns),
+        num_stored=0,
+        duplicates_skipped=0,
+        num_clean=len(patterns),
+        shard=None,
+        pattern_complexity_counts=[[2, 2, len(patterns)]] if patterns else [],
+    )
+    defaults.update(overrides)
+    return ChunkRecord(**defaults)
+
+
+def fill_writer(root, writer: str, fills, dedup: bool = False, chunk_size: int = 2):
+    """Append ``fills`` as patterns through one writer, chunk_size at a time."""
+    library = PatternLibrary(root, dedup=dedup, writer=writer)
+    patterns = [make_pattern(f) for f in fills]
+    for chunk, start in enumerate(range(0, len(patterns), chunk_size)):
+        batch = patterns[start : start + chunk_size]
+        library.append_chunk(make_record(chunk, batch), batch)
+    return library
+
+
+class TestWriterLedgers:
+    def test_writer_opens_v2_layout(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [1, 2, 3])
+        assert (tmp_path / MANIFEST_DIR / "alpha.json").exists()
+        assert not (tmp_path / "manifest.json").exists()
+        assert library.writers == ["alpha"]
+
+    def test_ledger_records_carry_seq_and_writer(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2, 3, 4])
+        ledger = load_ledger(ledger_path(tmp_path, "alpha"))
+        assert [record.seq for record in ledger.chunks] == [0, 1]
+        assert all(record.writer == "alpha" for record in ledger.chunks)
+
+    def test_v2_records_store_counts_not_hash_lists(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2])
+        payload = json.loads((tmp_path / MANIFEST_DIR / "alpha.json").read_text())
+        (record,) = payload["chunks"]
+        assert "new_pattern_hashes" not in record
+        assert "new_topology_hashes" not in record
+        assert record["num_new_patterns"] == 2
+
+    def test_scan_skips_temp_files(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2])
+        (tmp_path / MANIFEST_DIR / "beta.json.tmp").write_text("{not json")
+        assert sorted(scan_ledgers(tmp_path)) == ["alpha"]
+
+    def test_writer_id_validation(self, tmp_path):
+        for bad in ("", "a/b", "..", ".hidden", "a b"):
+            with pytest.raises(ValueError):
+                validate_writer_id(bad)
+        validate_writer_id("serve-0a1b2c3d4e5f")
+
+    def test_duplicate_chunk_for_same_writer_rejected(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [1, 2])
+        patterns = [make_pattern(9)]
+        with pytest.raises(LibraryError, match="already recorded"):
+            library.append_chunk(make_record(0, patterns), patterns)
+
+    def test_lock_is_exclusive(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        import os
+
+        with LibraryLock(tmp_path) as lock:
+            fd = os.open(lock.path, os.O_RDWR)
+            try:
+                with pytest.raises(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            finally:
+                os.close(fd)
+        fd = os.open(tmp_path / "library.lock", os.O_RDWR)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)  # released on exit
+        os.close(fd)
+
+
+class TestMultiWriter:
+    def test_merged_view_is_union_of_ledgers(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2, 3])
+        fill_writer(tmp_path, "beta", [4, 5])
+        merged = PatternLibrary(tmp_path)
+        assert merged.writers == ["alpha", "beta"]
+        assert merged.num_patterns == 5
+        hashes = {pattern_hash(p) for p in merged.load_patterns()}
+        expected = {pattern_hash(make_pattern(f)) for f in [1, 2, 3, 4, 5]}
+        assert hashes == expected
+
+    def test_seq_is_gap_free_across_writers(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2, 3, 4])
+        fill_writer(tmp_path, "beta", [5, 6])
+        merged = PatternLibrary(tmp_path)
+        assert [r.seq for r in merged.records_in_order()] == [0, 1, 2]
+
+    def test_dedup_crosses_writer_boundaries(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2], dedup=True)
+        second = fill_writer(tmp_path, "beta", [2, 3], dedup=True)
+        assert second.num_patterns == 3  # pattern 2 deduplicated across writers
+        records = second.own_records()
+        assert sum(r.duplicates_skipped for r in records) == 1
+
+    def test_interleaved_appends_match_serial_pattern_set(self, tmp_path):
+        serial_root = tmp_path / "serial"
+        alpha = PatternLibrary(tmp_path / "inter", dedup=True, writer="alpha")
+        beta = PatternLibrary(tmp_path / "inter", dedup=True, writer="beta")
+        serial = PatternLibrary(serial_root, dedup=True, writer="solo")
+        fills = [[1, 2], [2, 3], [3, 4], [1, 5]]
+        for chunk, fill in enumerate(fills):
+            patterns = [make_pattern(f) for f in fill]
+            owner = alpha if chunk % 2 == 0 else beta
+            owner.append_chunk(make_record(chunk // 2, patterns), patterns)
+            serial.append_chunk(make_record(chunk, patterns), patterns)
+        merged = PatternLibrary(tmp_path / "inter")
+        assert merged.num_patterns == serial.num_patterns
+        assert [pattern_hash(p) for p in merged.load_patterns()] == [
+            pattern_hash(p) for p in serial.load_patterns()
+        ]
+        assert sum(r.duplicates_skipped for r in merged.records_in_order()) == sum(
+            r.duplicates_skipped for r in serial.records_in_order()
+        )
+
+    def test_merged_view_rejects_append_without_writer(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1])
+        merged = PatternLibrary(tmp_path)
+        patterns = [make_pattern(7)]
+        with pytest.raises(LibraryError, match="writer"):
+            merged.append_chunk(make_record(9, patterns), patterns)
+
+    def test_histogram_and_summary_cover_all_writers(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2])
+        fill_writer(tmp_path, "beta", [3])
+        merged = PatternLibrary(tmp_path)
+        assert merged.pattern_histogram().total == 3
+        assert merged.summary()["chunks"] == 2
+
+
+class TestV1Compat:
+    def test_v1_output_is_unchanged_without_writer(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(3)]
+        library = PatternLibrary(tmp_path, dedup=True)
+        library.append_chunk(make_record(0, patterns), patterns)
+        assert not (tmp_path / MANIFEST_DIR).exists()
+        payload = json.loads((tmp_path / "manifest.json").read_text())
+        assert payload["version"] == 1
+        (record,) = payload["chunks"]
+        # byte-compatible v1 schema: no v2-only keys leak into the manifest
+        assert "seq" not in record and "writer" not in record
+        assert record["new_pattern_hashes"]  # v1 keeps inline hash lists
+
+    def test_v1_library_readable_as_merged_view(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(4)]
+        v1 = PatternLibrary(tmp_path, dedup=True)
+        v1.append_chunk(make_record(0, patterns[:2]), patterns[:2])
+        v1.append_chunk(make_record(1, patterns[2:]), patterns[2:])
+        reread = PatternLibrary(tmp_path)
+        assert reread.num_patterns == 4
+        assert reread.load_patterns()  # loads through the v1 shard names
+
+    def test_v1_library_joined_by_new_writer(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(2)]
+        v1 = PatternLibrary(tmp_path, dedup=True)
+        v1.append_chunk(make_record(0, patterns), patterns)
+        joined = fill_writer(tmp_path, "late", [1, 7], dedup=True)
+        # pattern 1 already exists in the legacy manifest -> deduplicated
+        assert joined.num_patterns == 3
+        merged = PatternLibrary(tmp_path)
+        assert {r.writer for r in merged.records_in_order()} == {LEGACY_WRITER, "late"}
+        # joining never rewrites the legacy manifest itself
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_legacy_records_keep_seq_order_before_new_writers(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(2)]
+        v1 = PatternLibrary(tmp_path)
+        v1.append_chunk(make_record(0, patterns[:1]), patterns[:1])
+        v1.append_chunk(make_record(1, patterns[1:]), patterns[1:])
+        fill_writer(tmp_path, "late", [7])
+        merged = PatternLibrary(tmp_path)
+        order = [(r.writer, r.seq) for r in merged.records_in_order()]
+        assert order == [(LEGACY_WRITER, 0), (LEGACY_WRITER, 1), ("late", 2)]
+
+
+class TestQuery:
+    def test_band_filter_is_inclusive(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [0, 1, 2, 3])
+        totals = sorted(h.cx + h.cy for h in library.query())
+        lo, hi = totals[1], totals[-2]
+        band = library.query(complexity_band=(lo, hi))
+        assert all(lo <= h.cx + h.cy <= hi for h in band)
+        assert len(band) == sum(1 for t in totals if lo <= t <= hi)
+        assert len(library.query(complexity_band=(None, None))) == 4
+
+    def test_topology_filter_uses_index_fast_miss(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [1, 2, 3])
+        digest = topology_hash(make_pattern(2).topology)
+        matches = library.query(topology_hash=digest)
+        assert matches and all(h.topology_hash == digest for h in matches)
+        assert library.query(topology_hash="f" * 40) == []
+
+    def test_writer_filter(self, tmp_path):
+        fill_writer(tmp_path, "alpha", [1, 2])
+        fill_writer(tmp_path, "beta", [3])
+        merged = PatternLibrary(tmp_path)
+        assert len(merged.query(writer="alpha")) == 2
+        assert len(merged.query(writer="beta")) == 1
+        assert merged.query(writer="nobody") == []
+
+    def test_regime_filter_matches_fingerprint_substring(self, tmp_path):
+        library = PatternLibrary(tmp_path, writer="alpha")
+        library.bind({"rules": "space_min=32"})
+        patterns = [make_pattern(f) for f in (1, 2)]
+        library.append_chunk(make_record(0, patterns), patterns)
+        reread = PatternLibrary(tmp_path, writer="alpha")
+        assert len(reread.query(rule_regime="space_min=32")) == 2
+        assert reread.query(rule_regime="space_min=99") == []
+
+    def test_handles_load_lazily_and_exactly(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [1, 2, 3, 4], chunk_size=2)
+        for handle in library.query():
+            pattern = handle.load()
+            assert pattern_hash(pattern) == handle.pattern_hash
+            assert topology_hash(pattern.topology) == handle.topology_hash
+
+    def test_query_on_v1_library(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(3)]
+        v1 = PatternLibrary(tmp_path)
+        v1.append_chunk(make_record(0, patterns), patterns)
+        handles = v1.query(topology_hash=topology_hash(patterns[1].topology))
+        assert [h.pattern_hash for h in handles] == [pattern_hash(patterns[1])]
+
+
+class TestIndex:
+    def test_bloom_has_no_false_negatives(self):
+        digests = [pattern_hash(make_pattern(i)) for i in range(200)]
+        bloom = BloomFilter.from_capacity(len(digests))
+        bloom.add_many(digests)
+        assert all(bloom.might_contain(d) for d in digests)
+        absent = [topology_hash(make_pattern(i).topology) for i in range(50)]
+        false_positives = sum(bloom.might_contain(d) for d in absent)
+        assert false_positives <= 10  # ~1% target rate, generous bound
+
+    def test_probe_agrees_with_disk_after_flush(self, tmp_path):
+        # 9 chunks crosses the flush threshold, so probes mix the merged
+        # mmap arrays, the bloom filter and the unflushed delta sets.
+        library = fill_writer(tmp_path, "alpha", list(range(18)), chunk_size=2)
+        stats = library.index_stats()
+        assert stats["covered_seq"] >= 0
+        assert stats["merged_patterns"] > 0
+        for fill in range(18):
+            assert library.has_pattern(pattern_hash(make_pattern(fill)))
+        assert not library.has_pattern("0" * 40)
+
+    def test_deleted_index_is_rebuilt_not_trusted(self, tmp_path):
+        import shutil
+
+        library = fill_writer(tmp_path, "alpha", list(range(18)), chunk_size=2)
+        shutil.rmtree(library.index_dir)
+        reread = PatternLibrary(tmp_path, dedup=True, writer="alpha")
+        for fill in range(18):
+            assert reread.has_pattern(pattern_hash(make_pattern(fill)))
+        stats = reread.rebuild_index()
+        assert stats["merged_patterns"] == reread.num_patterns
+
+    def test_rebuild_index_refuses_pure_v1(self, tmp_path):
+        patterns = [make_pattern(0)]
+        v1 = PatternLibrary(tmp_path)
+        v1.append_chunk(make_record(0, patterns), patterns)
+        with pytest.raises(LibraryError, match="v1"):
+            v1.rebuild_index()
+
+    def test_second_process_sees_new_appends(self, tmp_path):
+        first = fill_writer(tmp_path, "alpha", [1, 2], dedup=True)
+        fill_writer(tmp_path, "beta", [3, 4], dedup=True)
+        # first's next append re-reads ledgers under the lock: the dedup
+        # probe must see beta's patterns even though they arrived after
+        # first's index snapshot was taken.
+        patterns = [make_pattern(3), make_pattern(9)]
+        record = make_record(1, patterns)
+        first.append_chunk(record, patterns)
+        assert record.num_stored == 1
+        assert record.duplicates_skipped == 1
+
+
+class TestCompaction:
+    def test_merges_small_shards(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", list(range(8)), chunk_size=2)
+        shards_before = len(list(library.shard_dir.glob("*.npz")))
+        report = library.compact(target_shard_patterns=8)
+        assert report.shards_before == shards_before == 4
+        assert report.shards_after == 1
+        assert report.merged_shards_written == 1
+        assert library.num_patterns == 8
+        assert len(library.load_patterns()) == 8
+
+    def test_preserves_pattern_order_and_content(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [5, 1, 4, 2], chunk_size=2)
+        before = [pattern_hash(p) for p in library.load_patterns()]
+        library.compact(target_shard_patterns=3)
+        after = [pattern_hash(p) for p in library.load_patterns()]
+        assert after == before
+
+    def test_drops_superseded_duplicates(self, tmp_path):
+        # dedup off at append time: duplicates land on disk; a dedup
+        # compaction removes every pattern hash seen earlier in seq order.
+        library = fill_writer(tmp_path, "alpha", [1, 2, 1, 2, 3], chunk_size=2)
+        assert library.num_patterns == 5
+        report = library.compact(target_shard_patterns=8, drop_duplicates=True)
+        assert report.patterns_dropped == 2
+        assert library.num_patterns == 3
+        hashes = [pattern_hash(p) for p in library.load_patterns()]
+        assert hashes == [pattern_hash(make_pattern(f)) for f in [1, 2, 3]]
+
+    def test_migrates_v1_library(self, tmp_path):
+        patterns = [make_pattern(i) for i in range(4)]
+        v1 = PatternLibrary(tmp_path, dedup=True)
+        v1.append_chunk(make_record(0, patterns[:2]), patterns[:2])
+        v1.append_chunk(make_record(1, patterns[2:]), patterns[2:])
+        before = [pattern_hash(p) for p in v1.load_patterns()]
+        report = PatternLibrary(tmp_path).compact(target_shard_patterns=16)
+        assert report.migrated == 2
+        assert not (tmp_path / "manifest.json").exists()
+        assert (tmp_path / MANIFEST_DIR / f"{LEGACY_WRITER}.json").exists()
+        migrated = PatternLibrary(tmp_path)
+        assert [pattern_hash(p) for p in migrated.load_patterns()] == before
+        assert migrated.num_unique_topologies == v1.num_unique_topologies
+
+    def test_keeps_big_exclusive_shards_in_place(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", list(range(6)), chunk_size=6)
+        (shard_before,) = library.shard_dir.glob("*.npz")
+        report = library.compact(target_shard_patterns=4)
+        assert report.merged_shards_written == 0
+        assert shard_before.exists()
+
+    def test_compact_is_idempotent(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", list(range(8)), chunk_size=2)
+        library.compact(target_shard_patterns=8)
+        before = [pattern_hash(p) for p in library.load_patterns()]
+        report = library.compact(target_shard_patterns=8)
+        assert report.merged_shards_written == 0
+        assert report.patterns_dropped == 0
+        assert [pattern_hash(p) for p in library.load_patterns()] == before
+
+    def test_query_and_dedup_survive_compaction(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", [1, 2, 3, 4], dedup=True)
+        library.compact(target_shard_patterns=2)
+        assert len(library.query(complexity_band=(0, None))) == 4
+        patterns = [make_pattern(2)]
+        record = make_record(9, patterns)
+        library.append_chunk(record, patterns)
+        assert record.duplicates_skipped == 1
+
+
+class TestResumeValidation:
+    def _library_with_chunks(self, tmp_path, writer=None):
+        library = PatternLibrary(tmp_path, dedup=True, writer=writer)
+        library.bind({"seed": 7})
+        for chunk in range(2):
+            patterns = [make_pattern(chunk * 2 + i) for i in range(2)]
+            library.append_chunk(make_record(chunk, patterns), patterns)
+        return library
+
+    @pytest.mark.parametrize("writer", [None, "alpha"])
+    def test_missing_shard_names_offending_chunk(self, tmp_path, writer):
+        library = self._library_with_chunks(tmp_path, writer)
+        shard = library.shard_dir / library.own_records()[1].shard
+        shard.unlink()
+        reopened = PatternLibrary(tmp_path, dedup=True, writer=writer)
+        with pytest.raises(LibraryError, match=r"chunk 1: shard .* is\s+missing"):
+            reopened.bind({"seed": 7}, resume=True)
+
+    @pytest.mark.parametrize("writer", [None, "alpha"])
+    def test_truncated_shard_names_offending_chunk(self, tmp_path, writer):
+        library = self._library_with_chunks(tmp_path, writer)
+        shard = library.shard_dir / library.own_records()[0].shard
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2])
+        reopened = PatternLibrary(tmp_path, dedup=True, writer=writer)
+        with pytest.raises(LibraryError, match="chunk 0"):
+            reopened.bind({"seed": 7}, resume=True)
+
+    @pytest.mark.parametrize("writer", [None, "alpha"])
+    def test_intact_library_resumes(self, tmp_path, writer):
+        self._library_with_chunks(tmp_path, writer)
+        reopened = PatternLibrary(tmp_path, dedup=True, writer=writer)
+        records = reopened.bind({"seed": 7}, resume=True)
+        assert [r.chunk for r in records] == [0, 1]
+
+
+class TestStreaming:
+    def test_iter_patterns_holds_one_shard_at_a_time(self, tmp_path):
+        # 24 chunks x 8 patterns of 64x64 topology: walking the library must
+        # not materialise all shards at once.  The bound is generous (3x one
+        # shard's footprint plus bookkeeping) but fails hard if iteration
+        # regresses to load_patterns()-style accumulation.
+        library = PatternLibrary(tmp_path, writer="alpha")
+        per_chunk = 8
+        for chunk in range(24):
+            patterns = [
+                make_pattern(chunk * per_chunk + i, size=64) for i in range(per_chunk)
+            ]
+            library.append_chunk(make_record(chunk, patterns), patterns)
+        shard_bytes = sum(
+            path.stat().st_size for path in library.shard_dir.glob("*.npz")
+        )
+        one_shard = shard_bytes / 24
+        tracemalloc.start()
+        count = 0
+        for pattern in library.iter_patterns():
+            count += 1
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == 24 * per_chunk
+        assert peak < max(3 * one_shard * 4, 512 * 1024)  # npz inflates ~4x
+
+    def test_pattern_histogram_never_touches_shards(self, tmp_path):
+        library = fill_writer(tmp_path, "alpha", list(range(6)), chunk_size=2)
+        for path in library.shard_dir.glob("*.npz"):
+            path.unlink()  # histogram must not notice
+        assert library.pattern_histogram().total == 6

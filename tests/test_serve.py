@@ -503,3 +503,86 @@ def test_metrics_snapshot_shape():
     assert snapshot["cache_hit_rate"] == pytest.approx(4 / 12)
     assert snapshot["request_latency_p50_seconds"] == pytest.approx(0.25)
     assert snapshot["request_latency_p95_seconds"] == pytest.approx(0.25)
+
+
+# --------------------------------------------------------------------------- #
+# persistent library backing (PR 9)
+# --------------------------------------------------------------------------- #
+def _run_window(env, root, count=12, start=None):
+    async def scenario():
+        service = _service(env, max_batch=6, library_root=root)
+        await service.start()
+        ticket = service.submit(
+            GenerateRequest(scenario="serve-test", count=count, start=start)
+        )
+        window = await ticket.collect()
+        snapshot = service.metrics.snapshot()
+        await service.stop()
+        return window, snapshot
+
+    return asyncio.run(scenario())
+
+
+def test_library_persists_generated_chunks(serve_env, tmp_path):
+    root = tmp_path / "library"
+    window, snapshot = _run_window(serve_env, root)
+    assert window.ok
+    assert snapshot["library_persisted_chunks"] >= 1
+    assert snapshot["library_persisted_patterns"] == len(window.patterns)
+    assert snapshot["library_restored_samples"] == 0
+
+    from repro.library import PatternLibrary
+
+    library = PatternLibrary(root)
+    assert library.writers and library.writers[0].startswith("serve-")
+    stored = library.load_patterns()
+    _assert_same_patterns(stored, window.patterns)
+    # the attribution needed for restart-restore rides along in the ledger
+    for record in library.records_in_order():
+        assert len(record.pattern_sources) == record.num_stored
+        assert len(record.pattern_clean) == record.num_stored
+
+
+def test_restart_restores_cache_from_library(serve_env, tmp_path):
+    root = tmp_path / "library"
+    first, first_snapshot = _run_window(serve_env, root)
+    assert first_snapshot["library_persisted_chunks"] >= 1
+
+    # A brand-new service over the same library answers the same window
+    # entirely from the restored cache: no generation, no new persistence.
+    second, second_snapshot = _run_window(serve_env, root, start=0)
+    assert second.ok
+    assert second.summary.cached_samples == 12
+    assert second.summary.live_chunks == 0
+    assert second_snapshot["library_restored_samples"] >= 12
+    assert second_snapshot["library_persisted_chunks"] == 0
+    assert second_snapshot["samples_generated"] == 0
+    _assert_same_patterns(second.patterns, first.patterns)
+
+
+def test_restored_stream_extends_past_restored_windows(serve_env, tmp_path):
+    root = tmp_path / "library"
+    _run_window(serve_env, root, count=6)
+    # restart and ask beyond the persisted frontier: the stream resumes at
+    # the right sample index, so the tail is bit-identical to the one-shot
+    # reference run of the same scenario/seed.
+    window, snapshot = _run_window(serve_env, root, count=12, start=0)
+    assert window.ok
+    assert window.summary.cached_samples >= 6
+    assert snapshot["library_persisted_chunks"] >= 1
+    # splicing restored + freshly generated samples must equal the one-shot
+    # reference run, bit for bit (reference patterns are in source order, so
+    # window [0, 12) is exactly its prefix)
+    served = _in_source_order([window])
+    _assert_same_patterns(served, serve_env.reference.patterns[: len(served)])
+
+
+def test_serve_metrics_snapshot_has_library_counters():
+    metrics = ServeMetrics()
+    metrics.record_library_restored(5)
+    metrics.record_library_persisted(3)
+    metrics.record_library_persisted(2)
+    snapshot = metrics.snapshot()
+    assert snapshot["library_restored_samples"] == 5
+    assert snapshot["library_persisted_chunks"] == 2
+    assert snapshot["library_persisted_patterns"] == 5
