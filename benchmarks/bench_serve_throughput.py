@@ -11,13 +11,19 @@ This harness measures that claim end to end on the shared trained pipeline:
 * **coalesced** — a fresh service with the same stream identity, all
   requests submitted before the worker starts, so the whole workload is
   generated in ``max_batch``-sized shared chunks;
-* **parity** — the patterns both services deliver, spliced in source-sample
-  order, must be bit-identical to each other *and* to a one-shot
-  ``generate_and_legalize`` reference (the serving determinism contract);
+* **supervised coalesced** — the same coalesced workload through the
+  fault-tolerant pool (``supervised=True``): generation runs in a child
+  process under :class:`~repro.serve.SupervisedWorker`, so the measured
+  speedup prices in the IPC round-trips and chunk pickling that crash
+  isolation costs;
+* **parity** — the patterns every variant delivers, spliced in
+  source-sample order, must be bit-identical to each other *and* to a
+  one-shot ``generate_and_legalize`` reference (the serving determinism
+  contract);
 * **latency** — p50/p95 request latency and mean batch occupancy of the
   coalesced run, straight from the service's ``/metrics`` counters.
 
-The regression gate (``baselines.json``) holds the coalesced path to at
+The regression gate (``baselines.json``) holds both coalesced paths to at
 least a 2x speedup over serial and to exact parity.
 """
 
@@ -31,7 +37,7 @@ import numpy as np
 from _bench_utils import FAST_MODE, write_metrics, write_result
 
 from repro.scenarios import ScenarioRegistry
-from repro.serve import GenerateRequest, GenerationService
+from repro.serve import GenerateRequest, GenerationService, WorkerConfig
 from repro.utils import as_rng
 
 #: Concurrent clients and the window each one asks for.  Small windows are
@@ -113,9 +119,12 @@ def bench_serve_throughput(benchmark, trained_pipeline):
     def factory(_plan):
         return trained_pipeline, as_rng(STREAM_SEED)
 
-    def service() -> GenerationService:
+    def service(**kwargs) -> GenerationService:
         return GenerationService(
-            registry=_registry(), pipeline_factory=factory, max_pending=NUM_CLIENTS
+            registry=_registry(),
+            pipeline_factory=factory,
+            max_pending=NUM_CLIENTS,
+            **kwargs,
         )
 
     plan = _registry().resolve(SCENARIO).lower()
@@ -141,27 +150,51 @@ def bench_serve_throughput(benchmark, trained_pipeline):
     coalesced_seconds = time.perf_counter() - start
     snapshot = coalesced_service.metrics.snapshot()
 
+    # The supervised pool: same coalesced submission plan, but every engine
+    # call crosses a process boundary to a heartbeat-watched child worker.
+    supervised_service = service(
+        supervised=True,
+        worker_config=WorkerConfig(heartbeat_interval=0.2, restart_backoff=0.01),
+    )
+    start = time.perf_counter()
+    supervised_windows = asyncio.run(_run_coalesced(supervised_service))
+    supervised_seconds = time.perf_counter() - start
+    supervised_snapshot = supervised_service.metrics.snapshot()
+
     serial_patterns = _spliced(serial_windows)
     coalesced_patterns = _spliced(coalesced_windows)
+    supervised_patterns = _spliced(supervised_windows)
     parity = (
         all(w.ok for w in serial_windows + coalesced_windows)
         and _patterns_equal(serial_patterns, coalesced_patterns)
         and _patterns_equal(coalesced_patterns, reference.patterns)
     )
+    supervised_parity = (
+        all(w.ok for w in supervised_windows)
+        and _patterns_equal(supervised_patterns, reference.patterns)
+    )
     speedup = serial_seconds / coalesced_seconds if coalesced_seconds else None
+    supervised_speedup = (
+        serial_seconds / supervised_seconds if supervised_seconds else None
+    )
 
     lines = [
         f"workload: {NUM_CLIENTS} clients x {WINDOW}-sample windows "
         f"({TOTAL} samples total)",
         "",
-        f"serial    : {serial_seconds:.4f} s ({NUM_CLIENTS} single-window batches)",
-        f"coalesced : {coalesced_seconds:.4f} s "
+        f"serial     : {serial_seconds:.4f} s ({NUM_CLIENTS} single-window batches)",
+        f"coalesced  : {coalesced_seconds:.4f} s "
         f"({snapshot['batches']} shared batches, "
         f"occupancy {snapshot['batch_occupancy_mean']:.2f} requests/batch)",
-        f"speedup (coalesced over serial): {speedup:.2f}x",
+        f"supervised : {supervised_seconds:.4f} s "
+        f"(coalesced through a child worker process, "
+        f"{supervised_snapshot['worker_restarts']} restarts)",
+        f"speedup (coalesced over serial)            : {speedup:.2f}x",
+        f"speedup (supervised coalesced over serial) : {supervised_speedup:.2f}x",
         f"request latency: p50 {snapshot['request_latency_p50_seconds']:.4f} s, "
         f"p95 {snapshot['request_latency_p95_seconds']:.4f} s",
         f"parity (serial == coalesced == one-shot): {parity}",
+        f"parity (supervised == one-shot)         : {supervised_parity}",
     ]
     write_result("serve_throughput.txt", "\n".join(lines))
 
@@ -174,8 +207,12 @@ def bench_serve_throughput(benchmark, trained_pipeline):
             "total_samples": TOTAL,
             "serial_seconds": serial_seconds,
             "coalesced_seconds": coalesced_seconds,
+            "supervised_seconds": supervised_seconds,
             "speedup_coalesced_over_serial": speedup,
+            "speedup_supervised_coalesced_over_serial": supervised_speedup,
             "serve_parity": parity,
+            "supervised_parity": supervised_parity,
+            "worker_restarts": supervised_snapshot["worker_restarts"],
             "num_patterns": len(coalesced_patterns),
             "batches": snapshot["batches"],
             "batch_occupancy_mean": snapshot["batch_occupancy_mean"],
@@ -186,3 +223,4 @@ def bench_serve_throughput(benchmark, trained_pipeline):
     )
 
     assert parity
+    assert supervised_parity

@@ -239,6 +239,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="pattern-library directory backing the serve cache: generated "
         "chunks are persisted per stream writer and restored on restart",
     )
+    p_serve.add_argument(
+        "--supervised", action="store_true",
+        help="run generation in supervised child worker processes: crashes "
+        "and hangs are detected, the worker restarts, and the in-flight "
+        "window is resubmitted deterministically",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline (requests may set their own)",
+    )
+    p_serve.add_argument(
+        "--retry-budget", type=int, default=2, metavar="N",
+        help="failed warmup/advance calls retried up to N times with "
+        "exponential backoff before the request group fails (default 2)",
+    )
+    p_serve.add_argument(
+        "--advance-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervised mode: a worker advance slower than this is treated "
+        "as hung and the worker is restarted",
+    )
+    p_serve.add_argument(
+        "--max-restarts", type=int, default=2, metavar="N",
+        help="supervised mode: worker restarts allowed per advance before "
+        "the failure is surfaced (default 2)",
+    )
     return parser
 
 
@@ -590,16 +615,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the generation daemon until interrupted (see docs/serving.md)."""
     import asyncio
 
-    from .serve import GenerationService, ServeServer
-    from .serve.server import _serve_until_interrupted
+    from .serve import ServeServer
+    from .serve.server import _serve_until_interrupted, service_from_args
 
     registry = _registry_for(args)
-    service = GenerationService(
-        registry=registry,
-        max_pending=args.max_pending,
-        max_batch=args.max_batch,
-        library_root=args.library,
-    )
+    service = service_from_args(args, registry)
     server = ServeServer(service, host=args.host, port=args.port)
     try:
         asyncio.run(_serve_until_interrupted(server))

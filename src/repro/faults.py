@@ -1,0 +1,326 @@
+"""Repo-wide fault-injection framework (chaos testing for the shipped code).
+
+Grown out of :mod:`repro.library`'s durability harness (PR 9), this module
+generalises the kill-point approach to every failure-sensitive subsystem:
+any state-changing or failure-prone step — a durable filesystem write, a
+generation-stream advance, a serve-worker IPC hop — calls
+:func:`fault_point` with a stable label *immediately before* executing.  In
+production the call is a no-op costing one attribute load; under test a hook
+is installed that can crash, delay, or error at any point, simulating a
+process kill, a hung worker, or a failing backing store between any two
+real operations.
+
+The pattern follows the test-VFS approach of production storage engines and
+the torture-test methodology of crash-consistency research: the hooks live
+in the shipped code, so the tested ordering *is* the shipped ordering, not a
+test-only re-implementation of it.
+
+Three layers:
+
+* **Points** — call sites marked with :func:`fault_point`.  Modules declare
+  their labels up front with :func:`declare_fault_points`, so suites can
+  enumerate every registered point of a subsystem
+  (:func:`registered_fault_points`) and prove each one is both *reachable*
+  (hit during a clean run) and *survivable* (the system recovers when it
+  fires).
+* **Faults** — a :class:`Fault` binds one label to a mode:
+
+  - ``kill``  — raise :class:`InjectedCrash`; simulates a process killed
+    mid-operation (in a worker child the exception escapes the loop and the
+    process dies; in-process it unwinds to the caller's recovery path);
+  - ``exit``  — ``os._exit`` with no unwinding at all (child processes
+    only: the hardest possible kill);
+  - ``error`` — raise :class:`InjectedError`; simulates a failing
+    dependency (e.g. the library backing store) that the caller should
+    degrade around rather than die from;
+  - ``delay`` — sleep ``seconds``; simulates a slow or hung worker (drive
+    it past a watchdog timeout to exercise hang detection).
+
+* **Plans** — a :class:`FaultPlan` maps labels to faults and is installed
+  with :func:`install_fault_hook` / the :func:`inject_faults` context
+  manager, or from the environment (``REPRO_FAULTS``) for child processes
+  that re-execute from scratch.  A fault triggers on its ``hits``-th
+  traversal; an optional ``marker`` file makes it one-shot *across
+  processes* — a restarted worker inherits the plan but finds the marker
+  and does not re-trigger, which is what lets a chaos test assert full
+  recovery after exactly one injected failure.
+
+``REPRO_FAULTS`` syntax (``;``-separated)::
+
+    REPRO_FAULTS="worker:advance=kill@/tmp/m1;append:ledger=delay:0.5"
+
+i.e. ``label=mode[:seconds][@marker-path]``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedError",
+    "declare_fault_points",
+    "fault_point",
+    "inject_faults",
+    "install_fault_hook",
+    "plan_from_env",
+    "record_fault_points",
+    "registered_fault_points",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a ``kill`` fault to simulate a process death at one point."""
+
+    def __init__(self, label: str, index: int) -> None:
+        super().__init__(f"injected crash at fault point #{index} ({label})")
+        self.label = label
+        self.index = index
+
+
+class InjectedError(RuntimeError):
+    """Raised by an ``error`` fault: the operation fails, the process lives."""
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"injected error at fault point ({label})")
+        self.label = label
+
+
+# --------------------------------------------------------------------------- #
+# point registry
+# --------------------------------------------------------------------------- #
+_registry_lock = threading.Lock()
+_registered: "set[str]" = set()
+
+
+def declare_fault_points(*labels: str) -> None:
+    """Register ``labels`` as known fault points of the calling subsystem.
+
+    Declaration is what makes a point *enumerable*: chaos suites iterate
+    :func:`registered_fault_points` to kill at every point of a subsystem
+    without hand-maintaining a parallel list in the tests.  Idempotent.
+    """
+    with _registry_lock:
+        _registered.update(labels)
+
+
+def registered_fault_points(prefixes: "str | tuple[str, ...]" = "") -> "list[str]":
+    """Sorted registered labels, optionally restricted to ``prefixes``."""
+    if isinstance(prefixes, str):
+        prefixes = (prefixes,)
+    with _registry_lock:
+        return sorted(
+            label for label in _registered if any(label.startswith(p) for p in prefixes)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# faults and plans
+# --------------------------------------------------------------------------- #
+@dataclass
+class Fault:
+    """One injected behaviour bound to one fault-point label.
+
+    Parameters
+    ----------
+    label:
+        The fault point this fault arms.
+    mode:
+        ``"kill"`` | ``"exit"`` | ``"error"`` | ``"delay"`` (see module
+        docstring).
+    seconds:
+        Sleep duration for ``delay`` mode.
+    hits:
+        Trigger on the n-th traversal of the point (1 = first).
+    marker:
+        Optional path used as a cross-process one-shot latch: the fault
+        triggers only if it can *create* the file (``O_EXCL``), so exactly
+        one trigger happens across any number of (restarted) processes.
+    exit_code:
+        Process exit status for ``exit`` mode.
+    """
+
+    label: str
+    mode: str = "kill"
+    seconds: float = 0.0
+    hits: int = 1
+    marker: "str | os.PathLike | None" = None
+    exit_code: int = 70
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("kill", "exit", "error", "delay"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.hits < 1:
+            raise ValueError("hits must be >= 1")
+
+    def _claim_marker(self) -> bool:
+        """Atomically create the marker; False when another trigger beat us."""
+        if self.marker is None:
+            return True
+        try:
+            fd = os.open(os.fspath(self.marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def trigger(self, count: int, index: int) -> None:
+        """Fire if this traversal (``count``-th of the label) arms the fault."""
+        if count != self.hits:
+            return
+        if not self._claim_marker():
+            return
+        if self.mode == "delay":
+            time.sleep(self.seconds)
+        elif self.mode == "error":
+            raise InjectedError(self.label)
+        elif self.mode == "exit":
+            os._exit(self.exit_code)
+        else:
+            raise InjectedCrash(self.label, index)
+
+
+class FaultPlan:
+    """A set of :class:`Fault`\\ s, installable as the process fault hook.
+
+    Counts traversals per label (thread-safe); callable with a label so it
+    plugs straight into :func:`install_fault_hook`.
+    """
+
+    def __init__(self, *faults: Fault) -> None:
+        self.faults: dict[str, Fault] = {}
+        for fault in faults:
+            self.faults[fault.label] = fault
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._total = 0
+
+    def __call__(self, label: str) -> None:
+        with self._lock:
+            self._counts[label] = self._counts.get(label, 0) + 1
+            count = self._counts[label]
+            self._total += 1
+            index = self._total
+        fault = self.faults.get(label)
+        if fault is not None:
+            fault.trigger(count, index)
+
+    def counts(self) -> "dict[str, int]":
+        """Traversal count per label seen so far (a copy)."""
+        with self._lock:
+            return dict(self._counts)
+
+
+def plan_from_env(value: "str | None" = None) -> "FaultPlan | None":
+    """Parse a ``REPRO_FAULTS``-style string into a :class:`FaultPlan`.
+
+    With ``value=None`` the ``REPRO_FAULTS`` environment variable is read;
+    returns ``None`` when it is unset/empty.  Raises :class:`ValueError` on
+    a malformed entry (fail loudly: a typo'd chaos run must not silently
+    test nothing).
+    """
+    if value is None:
+        value = os.environ.get("REPRO_FAULTS", "")
+    value = value.strip()
+    if not value:
+        return None
+    faults = []
+    for entry in value.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        label, sep, spec = entry.partition("=")
+        if not sep or not label:
+            raise ValueError(f"malformed REPRO_FAULTS entry {entry!r}")
+        marker: "str | None" = None
+        if "@" in spec:
+            spec, marker = spec.split("@", 1)
+        mode, _, arg = spec.partition(":")
+        seconds = float(arg) if arg else 0.0
+        faults.append(Fault(label=label, mode=mode or "kill", seconds=seconds, marker=marker))
+    return FaultPlan(*faults)
+
+
+# --------------------------------------------------------------------------- #
+# the hook
+# --------------------------------------------------------------------------- #
+#: The installed hook, or ``None`` (production).  A hook is a callable
+#: ``hook(label: str) -> None`` that may raise / sleep / exit.
+_hook = None
+
+
+def fault_point(label: str) -> None:
+    """Mark one failure-sensitive step; acts only under an installed hook."""
+    if _hook is not None:
+        _hook(label)
+
+
+def install_fault_hook(hook) -> None:
+    """Install ``hook`` (or ``None`` to clear).  Test-only."""
+    global _hook
+    _hook = hook
+
+
+class inject_faults:
+    """Context manager installing a :class:`FaultPlan` for its body.
+
+    Accepts either a ready plan or loose :class:`Fault`\\ s::
+
+        with inject_faults(Fault("serve:persist", "kill")):
+            ...
+
+    The previous hook is restored on exit, and the installed plan is
+    available as the ``as`` target for count assertions.
+    """
+
+    def __init__(self, *faults: "Fault | FaultPlan") -> None:
+        if len(faults) == 1 and isinstance(faults[0], FaultPlan):
+            self.plan = faults[0]
+        else:
+            self.plan = FaultPlan(*faults)  # type: ignore[arg-type]
+        self._previous = None
+
+    def __enter__(self) -> FaultPlan:
+        global _hook
+        self._previous = _hook
+        _hook = self.plan
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        global _hook
+        _hook = self._previous
+
+
+class record_fault_points:
+    """Context manager collecting the labels an operation passes through.
+
+    Used by the fault suites to enumerate kill points before replaying the
+    same operation once per point with a crashing hook::
+
+        with record_fault_points() as points:
+            library.append_chunk(record, patterns)
+        assert "manifest:replace" in points
+    """
+
+    def __init__(self) -> None:
+        self.labels: list[str] = []
+
+    def __enter__(self) -> "list[str]":
+        install_fault_hook(self.labels.append)
+        return self.labels
+
+    def __exit__(self, *exc) -> None:
+        install_fault_hook(None)
+
+
+# A process started with REPRO_FAULTS set arms its plan at import time —
+# this is how spawned worker children (which re-import from scratch) receive
+# the faults a chaos harness aimed at them.
+_env_plan = plan_from_env()
+if _env_plan is not None:
+    install_fault_hook(_env_plan)

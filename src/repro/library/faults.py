@@ -1,68 +1,21 @@
-"""Fault-injection points for the library's durability-critical writes.
+"""Compatibility shim: the library's fault points now live in :mod:`repro.faults`.
 
-Every state-changing filesystem step of the pattern library — temp-file
-writes, atomic renames, shard/sidecar/ledger commits — calls
-:func:`fault_point` with a stable label *immediately before* executing.
-In production the call is a no-op costing one attribute load; under test a
-hook is installed that can raise at any point, simulating a process kill
-between any two durable operations.  The crash-consistency suites
-(``tests/test_library_faults.py``) enumerate every labelled point of an
-``append_chunk`` / ``compact`` sequence, kill at each one in turn, and
-assert the reopened library recovers losslessly.
-
-The pattern follows the test-VFS approach of production storage engines:
-the hooks live in the shipped code so the tested write ordering is the
-shipped write ordering, not a test-only re-implementation of it.
+PR 9 introduced this module for the pattern library's durability-critical
+writes; the framework has since been promoted to the repo-wide
+:mod:`repro.faults` (named point registry, kill/delay/error/exit modes,
+``REPRO_FAULTS`` env activation) so the serve worker loop, batcher, and
+generation stream share one hook with the library.  Existing imports keep
+working — everything here re-exports the shared implementation, including
+the module-global hook state.
 """
 
 from __future__ import annotations
 
+from repro.faults import (
+    InjectedCrash,
+    fault_point,
+    install_fault_hook,
+    record_fault_points,
+)
+
 __all__ = ["InjectedCrash", "fault_point", "install_fault_hook", "record_fault_points"]
-
-
-class InjectedCrash(RuntimeError):
-    """Raised by a test hook to simulate a kill at one fault point."""
-
-    def __init__(self, label: str, index: int) -> None:
-        super().__init__(f"injected crash at fault point #{index} ({label})")
-        self.label = label
-        self.index = index
-
-
-#: The installed hook, or ``None`` (production).  A hook is a callable
-#: ``hook(label: str) -> None`` that may raise to simulate a crash.
-_hook = None
-
-
-def fault_point(label: str) -> None:
-    """Mark one durable filesystem step; raises only under an injecting hook."""
-    if _hook is not None:
-        _hook(label)
-
-
-def install_fault_hook(hook) -> None:
-    """Install ``hook`` (or ``None`` to clear).  Test-only."""
-    global _hook
-    _hook = hook
-
-
-class record_fault_points:
-    """Context manager collecting the labels an operation passes through.
-
-    Used by the fault suites to enumerate kill points before replaying the
-    same operation once per point with a crashing hook::
-
-        with record_fault_points() as points:
-            library.append_chunk(record, patterns)
-        assert "manifest:replace" in points
-    """
-
-    def __init__(self) -> None:
-        self.labels: list[str] = []
-
-    def __enter__(self) -> "list[str]":
-        install_fault_hook(self.labels.append)
-        return self.labels
-
-    def __exit__(self, *exc) -> None:
-        install_fault_hook(None)

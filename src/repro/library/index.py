@@ -38,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .faults import fault_point
+from ..faults import declare_fault_points, fault_point
 from .manifest import atomic_write_bytes, atomic_write_text
 
 __all__ = [
@@ -62,6 +62,8 @@ HASH_DTYPE = "S40"
 
 #: Delta chunks tolerated before an append folds them into the merged files.
 FLUSH_DELTA_CHUNKS = 8
+
+declare_fault_points("index:arrays", "index:bloom", "index:meta")
 
 
 def _as_hash_array(hashes) -> np.ndarray:

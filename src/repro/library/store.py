@@ -49,7 +49,7 @@ import numpy as np
 
 from ..metrics import ComplexityHistogram
 from ..squish import SquishPattern
-from .faults import fault_point
+from ..faults import declare_fault_points, fault_point
 from .index import (
     INDEX_DIR,
     LibraryIndex,
@@ -79,6 +79,18 @@ MANIFEST_VERSION = 1
 MERGED_SHARD_PREFIX = "merged_"
 #: Shards cached for lazy :class:`PatternHandle` loads.
 _SHARD_CACHE_SIZE = 4
+
+declare_fault_points(
+    "append:shard",
+    "append:sidecar",
+    "append:ledger",
+    "append:index-flush",
+    "compact:merged-shard",
+    "compact:merged-sidecar",
+    "compact:index-invalidate",
+    "compact:drop-manifest",
+    "compact:index-rebuild",
+)
 
 __all__ = [
     "ChunkRecord",

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..drc import DesignRuleChecker
+from ..faults import declare_fault_points, fault_point
 from ..legalization import LegalizationEngine, LegalizationReport, LegalizationStats
 from ..library import ChunkRecord, PatternLibrary
 from ..metrics import ComplexityHistogram, pattern_complexity, topology_complexity
@@ -47,6 +48,8 @@ from .diffpattern import GenerationResult
 from .sampling_engine import SamplingEngine, SamplingReport
 
 __all__ = ["GenerationGraph", "GenerationGraphReport", "GenerationStream", "StreamChunk"]
+
+declare_fault_points("stream:advance")
 
 
 def _references_digest(references: "list[tuple[np.ndarray, np.ndarray]]") -> str:
@@ -194,6 +197,11 @@ class StreamChunk:
         return self.start + self.size
 
     @property
+    def num_kept(self) -> int:
+        """Topologies that survived the prefilter in this chunk."""
+        return len(self.kept)
+
+    @property
     def unsolved(self) -> int:
         """Kept topologies for which no legal geometry was found."""
         return sum(1 for result in self.results if not result.solved)
@@ -248,6 +256,11 @@ class GenerationStream:
         """
         if size < 1:
             raise ValueError("size must be >= 1")
+        # Counters mutate only after the chunk is fully built (below), so a
+        # crash here — or anywhere inside the stage walk — leaves the stream
+        # exactly at the pre-call frontier: a retried advance reproduces the
+        # same chunk bit for bit.
+        fault_point("stream:advance")
         graph = self.graph
         start = self.next_start
         tensors, sampling_report = graph.sampling_engine.sample_with_report(

@@ -14,15 +14,20 @@ Layering (one module per concern):
   lossless JSON pattern codec;
 * :mod:`repro.serve.batcher` — per-stream warmup, window ledger,
   coalesced generation and the pattern cache;
-* :mod:`repro.serve.service` — admission, backpressure, the worker that
-  coalesces and routes, clean shutdown;
+* :mod:`repro.serve.supervisor` — the supervised multi-process worker
+  pool: generation runs in child processes, crashes and hangs restart the
+  worker, and the in-flight window is resubmitted deterministically;
+* :mod:`repro.serve.service` — admission, backpressure, deadlines,
+  retries and the circuit breaker, the worker that coalesces and routes,
+  clean shutdown;
 * :mod:`repro.serve.metrics` — the ``/metrics`` counters;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — the stdlib
-  HTTP/1.1 transport and its client.
+  HTTP/1.1 transport and its retrying client.
 
 The service inherits the pipeline's determinism contract: any window
 ``[a, b)`` it serves is bit-identical to samples ``[a, b)`` of a one-shot
-``repro generate`` run of the same scenario/seed — see ``docs/serving.md``.
+``repro generate`` run of the same scenario/seed — including through
+injected worker crashes (see ``docs/serving.md`` and :mod:`repro.faults`).
 """
 
 from .batcher import CachedChunk, StreamBatcher, stream_key
@@ -36,13 +41,23 @@ from .protocol import (
     pattern_from_json,
     pattern_to_json,
 )
-from .server import ServeServer, scenario_listing, servable_note
+from .server import ServeServer, scenario_listing, servable_note, service_from_args
 from .service import (
     GenerationService,
     RequestTicket,
     ServedWindow,
     ServiceBusyError,
     ServiceClosedError,
+    ServiceDegradedError,
+)
+from .supervisor import (
+    SupervisedStreamBatcher,
+    SupervisedWorker,
+    WorkerChunk,
+    WorkerConfig,
+    WorkerCrash,
+    WorkerError,
+    WorkerFailure,
 )
 
 __all__ = [
@@ -60,10 +75,19 @@ __all__ = [
     "ServedWindow",
     "ServiceBusyError",
     "ServiceClosedError",
+    "ServiceDegradedError",
     "StreamBatcher",
+    "SupervisedStreamBatcher",
+    "SupervisedWorker",
+    "WorkerChunk",
+    "WorkerConfig",
+    "WorkerCrash",
+    "WorkerError",
+    "WorkerFailure",
     "pattern_from_json",
     "pattern_to_json",
     "scenario_listing",
     "servable_note",
+    "service_from_args",
     "stream_key",
 ]

@@ -30,11 +30,19 @@ import hashlib
 import threading
 from dataclasses import dataclass, field
 
+from ..faults import declare_fault_points, fault_point
 from ..library import ChunkRecord, LibraryError, PatternLibrary, pattern_hash
 from ..pipeline import DiffPatternPipeline
 from ..utils import as_rng
 
 __all__ = ["CachedChunk", "StreamBatcher", "stream_key"]
+
+declare_fault_points(
+    "serve:warmup",
+    "serve:advance",
+    "serve:persist",
+    "serve:cache-commit",
+)
 
 
 def stream_key(plan) -> str:
@@ -148,6 +156,12 @@ class StreamBatcher:
         self.done = 0
         self._chunks: "list[CachedChunk]" = []
         self._patterns: dict = {}
+        # Crash-atomicity latches for :meth:`advance`: a chunk that was
+        # computed but not yet committed to the cache survives here, so a
+        # retried advance re-exposes the same chunk instead of re-running
+        # the engines (which would skip a window of samples).
+        self._pending_chunk = None
+        self._pending_persisted = False
 
     # ------------------------------------------------------------------ #
     # warmup
@@ -165,6 +179,7 @@ class StreamBatcher:
         """
         if self._stream is not None:
             return
+        fault_point("serve:warmup")
         pipeline, gen = self._pipeline_factory(self.plan)
         graph = pipeline.generation_graph(
             num_solutions=self.plan.num_solutions,
@@ -209,7 +224,6 @@ class StreamBatcher:
         """
         library = PatternLibrary(self.library_root, writer=self.writer_id)
         records = library.bind(self._library_fingerprint(), resume=True)
-        stream = self._stream
         with self._lock:
             for record in records:
                 patterns = library.load_record_patterns(record)
@@ -235,21 +249,26 @@ class StreamBatcher:
                     cached.sources.append(int(source))
                     cached.clean.append(bool(flag))
                 self._chunks.append(cached)
-                stream.skip_record(record)
+                self._skip_record(record)
                 self.done = cached.end
                 self.restored_samples += record.num_sampled
         self._library = library
         if self.metrics is not None and self.restored_samples:
             self.metrics.record_library_restored(self.restored_samples)
 
+    def _skip_record(self, record) -> None:
+        """Fast-forward the generation state over one restored chunk."""
+        self._stream.skip_record(record)
+
     def _persist_chunk(self, chunk) -> None:
         """Commit one generated chunk to the shared library (with attribution)."""
+        fault_point("serve:persist")
         stats = chunk.legalization_report.stats
         record = ChunkRecord(
             chunk=chunk.chunk,
             start=chunk.start,
             num_sampled=chunk.size,
-            num_kept=len(chunk.kept),
+            num_kept=chunk.num_kept,
             num_rejected=chunk.num_rejected,
             unsolved=chunk.unsolved,
             num_patterns=len(chunk.chunk_patterns),
@@ -311,14 +330,37 @@ class StreamBatcher:
         Runs on the executor thread; returns the
         :class:`~repro.pipeline.StreamChunk` so the service can route the
         slice to every waiting request.
+
+        **Retry-safe**: the computed chunk is latched before the persist and
+        cache-commit steps, so if either fails the service may call
+        ``advance`` again and receive the *same* chunk — the stream never
+        skips a window, and a chunk persisted before the failure is not
+        persisted twice.
         """
-        if self._stream is None:
+        if not self.ready:
             raise RuntimeError("StreamBatcher.advance before ensure_ready")
-        chunk = self._stream.advance(size)
-        if self._library is not None:
+        fault_point("serve:advance")
+        chunk = self._pending_chunk
+        if chunk is None:
+            chunk = self._compute_chunk(size)
+            self._pending_chunk = chunk
+        if self._library is not None and not self._pending_persisted:
             # Commit before exposing: a chunk a client has seen is always
             # recoverable after a restart.
             self._persist_chunk(chunk)
+        self._pending_persisted = True
+        self._commit_chunk(chunk)
+        self._pending_chunk = None
+        self._pending_persisted = False
+        return chunk
+
+    def _compute_chunk(self, size: int):
+        """Run the engines for the next ``size`` samples (overridable)."""
+        return self._stream.advance(size)
+
+    def _commit_chunk(self, chunk) -> None:
+        """Fold a computed chunk into the pattern cache and ``done`` frontier."""
+        fault_point("serve:cache-commit")
         record = CachedChunk(start=chunk.start, end=chunk.end)
         with self._lock:
             for pattern, source, clean in zip(
@@ -331,7 +373,9 @@ class StreamBatcher:
                 record.clean.append(bool(clean))
             self._chunks.append(record)
             self.done = chunk.end
-        return chunk
+
+    def close(self) -> None:
+        """Release generation resources (the supervised batcher's worker)."""
 
     # ------------------------------------------------------------------ #
     # cache reads

@@ -15,33 +15,97 @@ exposes — stdlib only, one connection per call:
 
 Non-2xx responses raise :class:`ServeHTTPError` carrying the status code,
 so a caller can distinguish backpressure (429) from a bad request (400).
+
+**Retries** are opt-in (``max_retries > 0``) and bounded: connection
+failures, 429 backpressure and 503 degraded/stopping responses are retried
+with capped exponential backoff + jitter, honoring the server's
+``Retry-After`` hint when one is sent.  Only *transient* classes retry —
+a 400 never will — and :meth:`stream` retries only until the first event
+has been yielded (a half-consumed stream is the caller's to resume, since
+blindly re-POSTing a tail-allocated window would claim a second window).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 from .protocol import ChunkPayload, GenerateRequest, ProtocolError, RequestSummary
 from .service import ServedWindow
 
 __all__ = ["ServeClient", "ServeHTTPError"]
 
+#: HTTP statuses worth retrying: backpressure and not-ready, never 4xx logic
+#: errors.
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
 
 class ServeHTTPError(RuntimeError):
-    """A non-2xx response; :attr:`status` holds the HTTP status code."""
+    """A non-2xx response; :attr:`status` holds the HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    :attr:`retry_after` carries the server's ``Retry-After`` hint in
+    seconds when the response included one (backpressure and degraded-mode
+    rejections do), else ``None``.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: "float | None" = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = int(status)
+        self.retry_after = retry_after
 
 
 class ServeClient:
-    """Thin per-request HTTP client (no pooling, no external deps)."""
+    """Thin per-request HTTP client (no pooling, no external deps).
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8181) -> None:
+    Parameters
+    ----------
+    host / port:
+        The daemon's address.
+    max_retries:
+        Transient-failure retries per call (0, the default, preserves the
+        historical fail-fast behaviour).
+    backoff_base / backoff_cap:
+        Exponential backoff bounds in seconds; the server's ``Retry-After``
+        hint overrides the computed delay when it is larger.
+    rng:
+        Jitter source (seeded under test for reproducible schedules).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8181,
+        max_retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: "random.Random | None" = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = rng if rng is not None else random.Random()
+
+    def _retry_delay(self, attempt: int, retry_after: "float | None") -> float:
+        """Backoff for retry ``attempt`` (1-based), honoring ``Retry-After``."""
+        delay = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        delay *= 1.0 + 0.25 * self._rng.random()
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    @staticmethod
+    def _transient(error: BaseException) -> "tuple[bool, float | None]":
+        """``(retryable, retry_after_hint)`` classification of a failure."""
+        if isinstance(error, ServeHTTPError):
+            return error.status in _RETRYABLE_STATUSES, error.retry_after
+        if isinstance(error, (ConnectionError, asyncio.IncompleteReadError, OSError)):
+            return True, None  # connection refused / reset: retryable, no hint
+        return False, None
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -102,19 +166,38 @@ class ServeClient:
             message = json.loads(body.decode("utf-8")).get("error", body.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             message = repr(body)
-        raise ServeHTTPError(status, message)
+        retry_after: "float | None" = None
+        header = headers.get("retry-after")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass  # HTTP-date form: ignore, backoff computes its own delay
+        raise ServeHTTPError(status, message, retry_after=retry_after)
 
     # ------------------------------------------------------------------ #
     # JSON endpoints
     # ------------------------------------------------------------------ #
     async def get_json(self, path: str) -> dict:
-        """GET ``path`` and decode the JSON body (raises on non-200)."""
-        status, headers, reader, writer = await self._open("GET", path)
-        if status != 200:
-            await self._raise_for_status(status, headers, reader, writer)
-        body = await self._read_body(headers, reader)
-        writer.close()
-        return json.loads(body.decode("utf-8"))
+        """GET ``path`` and decode the JSON body (raises on non-200).
+
+        Retries transient failures up to ``max_retries`` times.
+        """
+        attempt = 0
+        while True:
+            try:
+                status, headers, reader, writer = await self._open("GET", path)
+                if status != 200:
+                    await self._raise_for_status(status, headers, reader, writer)
+                body = await self._read_body(headers, reader)
+                writer.close()
+                return json.loads(body.decode("utf-8"))
+            except Exception as error:
+                retryable, hint = self._transient(error)
+                attempt += 1
+                if not retryable or attempt > self.max_retries:
+                    raise
+                await asyncio.sleep(self._retry_delay(attempt, hint))
 
     async def healthz(self) -> dict:
         return await self.get_json("/healthz")
@@ -136,27 +219,44 @@ class ServeClient:
         use :meth:`generate` for the collected form).
         """
         body = json.dumps(request.as_dict()).encode("utf-8")
-        status, headers, reader, writer = await self._open("POST", "/generate", body)
-        if status != 200:
-            await self._raise_for_status(status, headers, reader, writer)
-        buffer = b""
-        try:
-            async for piece in self._iter_chunks(reader):
-                buffer += piece
-                while b"\n" in buffer:
-                    line, buffer = buffer.split(b"\n", 1)
-                    if not line.strip():
-                        continue
-                    document = json.loads(line.decode("utf-8"))
-                    if document.get("kind") == "summary":
-                        yield RequestSummary.from_dict(document)
-                    else:
-                        yield ChunkPayload.from_dict(document)
-        finally:
-            writer.close()
+        attempt = 0
+        while True:
+            yielded = False
+            try:
+                status, headers, reader, writer = await self._open("POST", "/generate", body)
+                if status != 200:
+                    await self._raise_for_status(status, headers, reader, writer)
+                buffer = b""
+                try:
+                    async for piece in self._iter_chunks(reader):
+                        buffer += piece
+                        while b"\n" in buffer:
+                            line, buffer = buffer.split(b"\n", 1)
+                            if not line.strip():
+                                continue
+                            document = json.loads(line.decode("utf-8"))
+                            yielded = True
+                            if document.get("kind") == "summary":
+                                yield RequestSummary.from_dict(document)
+                            else:
+                                yield ChunkPayload.from_dict(document)
+                finally:
+                    writer.close()
+                return
+            except Exception as error:
+                retryable, hint = self._transient(error)
+                attempt += 1
+                if yielded or not retryable or attempt > self.max_retries:
+                    raise
+                await asyncio.sleep(self._retry_delay(attempt, hint))
 
     async def generate(self, request: GenerateRequest) -> ServedWindow:
-        """Run one request to completion and collect its window."""
+        """Run one request to completion and collect its window.
+
+        With ``max_retries > 0``, a whole failed attempt (rejected POST or a
+        stream that broke before any event arrived) is retried; a stream
+        that breaks mid-flight is not, for the reasons in :meth:`stream`.
+        """
         window = ServedWindow()
         async for event in self.stream(request):
             if isinstance(event, RequestSummary):

@@ -56,6 +56,13 @@ class ServeMetrics:
         self.requests_rejected = 0
         self.requests_completed = 0
         self.requests_failed = 0
+        self.requests_cancelled = 0
+        self.deadline_exceeded = 0
+        self.generation_failures = 0
+        self.generation_retries = 0
+        self.worker_restarts = 0
+        self.breaker_trips = 0
+        self.breaker_open = False
         self.samples_generated = 0
         self.samples_cached = 0
         self.queue_depth = 0
@@ -106,6 +113,35 @@ class ServeMetrics:
         with self._lock:
             self.samples_cached += int(num_samples)
 
+    def record_cancelled(self, deadline: bool = False) -> None:
+        """A request was cancelled (client disconnect, or its deadline fired)."""
+        with self._lock:
+            self.requests_cancelled += 1
+            if deadline:
+                self.deadline_exceeded += 1
+
+    def record_generation_failure(self) -> None:
+        """One warmup/advance call raised (before any retry decision)."""
+        with self._lock:
+            self.generation_failures += 1
+
+    def record_generation_retry(self) -> None:
+        """A failed warmup/advance call is being retried (budget allowed it)."""
+        with self._lock:
+            self.generation_retries += 1
+
+    def record_worker_restart(self) -> None:
+        """The supervisor killed and respawned a generation worker."""
+        with self._lock:
+            self.worker_restarts += 1
+
+    def record_breaker_state(self, open_: bool, tripped: bool = False) -> None:
+        """The circuit breaker opened (``tripped``) or changed state."""
+        with self._lock:
+            self.breaker_open = bool(open_)
+            if tripped:
+                self.breaker_trips += 1
+
     def record_library_restored(self, num_samples: int) -> None:
         """A stream warmup recovered ``num_samples`` from the pattern library."""
         with self._lock:
@@ -143,6 +179,13 @@ class ServeMetrics:
                 "requests_rejected": self.requests_rejected,
                 "requests_completed": self.requests_completed,
                 "requests_failed": self.requests_failed,
+                "requests_cancelled": self.requests_cancelled,
+                "deadline_exceeded": self.deadline_exceeded,
+                "generation_failures": self.generation_failures,
+                "generation_retries": self.generation_retries,
+                "worker_restarts": self.worker_restarts,
+                "breaker_trips": self.breaker_trips,
+                "breaker_open": self.breaker_open,
                 "queue_depth": self.queue_depth,
                 "request_latency_p50_seconds": _percentile(latencies, 0.50),
                 "request_latency_p95_seconds": _percentile(latencies, 0.95),

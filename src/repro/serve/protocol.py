@@ -122,12 +122,20 @@ class GenerateRequest:
         (:meth:`~repro.scenarios.ScenarioSpec.with_overrides`).  Overrides
         are part of the stream identity: two requests with different
         overrides never share a batch.
+    deadline:
+        Optional per-request deadline in seconds.  A request that has not
+        reached its summary within the budget is cancelled cleanly: it
+        receives a terminal summary with ``error_code="deadline_exceeded"``,
+        chunks already delivered stay valid, and its batch slot is released.
+        ``None`` falls back to the service-wide default (which may also be
+        ``None``: no deadline).
     """
 
     scenario: str
     count: "int | None" = None
     start: "int | None" = None
     overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    deadline: "float | None" = None
 
     @classmethod
     def from_dict(cls, data: Any) -> "GenerateRequest":
@@ -141,7 +149,7 @@ class GenerateRequest:
         """
         if not isinstance(data, Mapping):
             raise ProtocolError("request body must be a JSON object")
-        unknown = set(data) - {"scenario", "count", "start", "overrides"}
+        unknown = set(data) - {"scenario", "count", "start", "overrides", "deadline"}
         if unknown:
             raise ProtocolError(f"unknown request key(s): {sorted(unknown)}")
         scenario = data.get("scenario")
@@ -150,11 +158,19 @@ class GenerateRequest:
         overrides = data.get("overrides", {})
         if not isinstance(overrides, Mapping):
             raise ProtocolError("overrides must be a mapping of scenario sections")
+        deadline = data.get("deadline")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+                raise ProtocolError(f"deadline must be a number, got {deadline!r}")
+            if deadline <= 0:
+                raise ProtocolError(f"deadline must be > 0, got {deadline}")
+            deadline = float(deadline)
         return cls(
             scenario=scenario,
             count=_int_field(data, "count", 1),
             start=_int_field(data, "start", 0),
             overrides=overrides,
+            deadline=deadline,
         )
 
     def as_dict(self) -> dict:
@@ -168,6 +184,8 @@ class GenerateRequest:
             payload["overrides"] = {
                 section: dict(values) for section, values in self.overrides.items()
             }
+        if self.deadline is not None:
+            payload["deadline"] = float(self.deadline)
         return payload
 
 
@@ -228,9 +246,12 @@ class ChunkPayload:
 class RequestSummary:
     """Terminal event of a request: what was served, and how.
 
-    ``ok=False`` means the request ended early — ``error`` says why (e.g.
-    the service stopped mid-stream); every chunk delivered before the
-    failure is still valid.
+    ``ok=False`` means the request ended early — ``error`` says why (a
+    human-readable message) and ``error_code`` says why *mechanically*
+    (``"service_stopped"``, ``"deadline_exceeded"``, ``"cancelled"``,
+    ``"warmup_failed"``, ``"generation_failed"``, ``"degraded"``) so
+    clients can branch on failure class without parsing prose; every chunk
+    delivered before the failure is still valid.
     """
 
     ok: bool
@@ -245,6 +266,8 @@ class RequestSummary:
     live_chunks: int = 0
     elapsed_seconds: float = 0.0
     error: "str | None" = None
+    #: Machine-readable failure class (``None`` when ``ok``).
+    error_code: "str | None" = None
 
     def as_dict(self) -> dict:
         payload = {
@@ -261,6 +284,8 @@ class RequestSummary:
         }
         if self.error is not None:
             payload["error"] = str(self.error)
+        if self.error_code is not None:
+            payload["error_code"] = str(self.error_code)
         return payload
 
     @classmethod
@@ -279,6 +304,7 @@ class RequestSummary:
                 live_chunks=int(data.get("live_chunks", 0)),
                 elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
                 error=data.get("error"),
+                error_code=data.get("error_code"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"malformed summary payload: {error}") from error

@@ -4,18 +4,29 @@
 :class:`ServeServer`: a dependency-free asyncio HTTP daemon — stdlib only,
 hand-rolled request parsing over :func:`asyncio.start_server` — exposing
 
-* ``GET /healthz`` — liveness plus the pending-request gauge;
+* ``GET /healthz`` — combined health: service state (``ok`` / ``degraded``
+  / ``stopping``), liveness, readiness and the pending-request gauge;
+* ``GET /healthz/live`` — **liveness** alone: 200 whenever the process
+  answers (a live-but-degraded daemon must not be restarted by its
+  orchestrator — restarts don't fix a failing backing store);
+* ``GET /healthz/ready`` — **readiness**: 200 only when new live-generation
+  work is being accepted, 503 while degraded or stopping (take the
+  instance out of rotation, don't kill it);
 * ``GET /metrics`` — the :meth:`~repro.serve.ServeMetrics.snapshot` JSON;
 * ``GET /scenarios`` — the registry with per-scenario servability notes;
 * ``POST /generate`` — a :class:`~repro.serve.protocol.GenerateRequest`
   JSON body, answered as a **chunked NDJSON stream**: one line per
   :class:`~repro.serve.protocol.ChunkPayload` as each shared batch
   completes, terminated by the request's
-  :class:`~repro.serve.protocol.RequestSummary` line.
+  :class:`~repro.serve.protocol.RequestSummary` line.  A client that
+  disconnects mid-stream has its request cancelled: pending work is
+  dropped, the batch slot is released, metrics/cache stay consistent.
 
 Error mapping: malformed body / unknown scenario → 400, backpressure
-rejection → 429, service stopping → 503, unknown path → 404.  See
-``docs/serving.md`` for the full lifecycle.
+rejection → 429 with a ``Retry-After`` hint, service stopping or degraded
+(circuit breaker open) → 503 (degraded also carries ``Retry-After``),
+unknown path → 404.  See ``docs/serving.md`` for the full lifecycle and
+failure model.
 """
 
 from __future__ import annotations
@@ -28,10 +39,16 @@ import sys
 from pathlib import Path
 
 from ..scenarios import ScenarioError, builtin_registry, load_scenarios
-from .protocol import GenerateRequest, ProtocolError
-from .service import GenerationService, ServiceBusyError, ServiceClosedError
+from .protocol import GenerateRequest, ProtocolError, RequestSummary
+from .service import (
+    GenerationService,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceDegradedError,
+)
+from .supervisor import WorkerConfig
 
-__all__ = ["ServeServer", "main", "scenario_listing", "servable_note"]
+__all__ = ["ServeServer", "main", "scenario_listing", "servable_note", "service_from_args"]
 
 _MAX_BODY = 4 * 1024 * 1024
 
@@ -103,7 +120,7 @@ class ServeServer:
             except (ValueError, asyncio.IncompleteReadError) as error:
                 await self._respond(writer, 400, {"error": f"malformed request: {error}"})
                 return
-            await self._route(method, path, body, writer)
+            await self._route(method, path, body, writer, reader)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-response; nothing to clean up
         finally:
@@ -132,15 +149,31 @@ class ServeServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, body
 
-    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+    async def _route(
+        self, method: str, path: str, body: bytes, writer, reader=None
+    ) -> None:
         if method == "GET" and path == "/healthz":
             await self._respond(
                 writer,
                 200,
                 {
-                    "status": "stopping" if self.service.stopping else "ok",
+                    "status": self.service.state,
+                    "live": True,
+                    "ready": self.service.ready,
                     "pending": self.service.pending,
+                    "worker_restarts": self.service.metrics.worker_restarts,
                 },
+            )
+        elif method == "GET" and path == "/healthz/live":
+            # Liveness is the process answering at all — degraded included:
+            # restarting a daemon whose *backing store* fails fixes nothing.
+            await self._respond(writer, 200, {"live": True})
+        elif method == "GET" and path == "/healthz/ready":
+            ready = self.service.ready
+            await self._respond(
+                writer,
+                200 if ready else 503,
+                {"ready": ready, "status": self.service.state},
             )
         elif method == "GET" and path == "/metrics":
             await self._respond(writer, 200, self.service.metrics.snapshot())
@@ -149,11 +182,16 @@ class ServeServer:
                 writer, 200, {"scenarios": scenario_listing(self.service.registry)}
             )
         elif method == "POST" and path == "/generate":
-            await self._generate(body, writer)
+            await self._generate(body, writer, reader)
         else:
             await self._respond(writer, 404, {"error": f"no route {method} {path}"})
 
-    async def _generate(self, body: bytes, writer) -> None:
+    @staticmethod
+    def _retry_after_headers(error) -> "dict[str, str]":
+        seconds = max(1, int(-(-float(getattr(error, "retry_after", 1.0)) // 1)))
+        return {"Retry-After": str(seconds)}
+
+    async def _generate(self, body: bytes, writer, reader=None) -> None:
         try:
             request = GenerateRequest.from_dict(json.loads(body.decode("utf-8")))
             ticket = self.service.submit(request)
@@ -164,7 +202,16 @@ class ServeServer:
             await self._respond(writer, 400, {"error": str(error)})
             return
         except ServiceBusyError as error:
-            await self._respond(writer, 429, {"error": str(error)})
+            await self._respond(
+                writer, 429, {"error": str(error)},
+                headers=self._retry_after_headers(error),
+            )
+            return
+        except ServiceDegradedError as error:
+            await self._respond(
+                writer, 503, {"error": str(error)},
+                headers=self._retry_after_headers(error),
+            )
             return
         except ServiceClosedError as error:
             await self._respond(writer, 503, {"error": str(error)})
@@ -176,11 +223,39 @@ class ServeServer:
             b"Transfer-Encoding: chunked\r\n"
             b"Connection: close\r\n\r\n"
         )
-        async for payload in ticket.events():
-            await self._write_chunk(writer, payload.as_dict())
-        await self._write_chunk(writer, ticket.summary.as_dict())
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+        # Race each event against connection EOF: a client that hangs up
+        # mid-stream gets its request cancelled (slot released, pending
+        # work dropped) instead of generating into a dead socket.
+        eof = (
+            asyncio.ensure_future(reader.read()) if reader is not None else None
+        )
+        try:
+            while True:
+                getter = asyncio.ensure_future(ticket._events.get())
+                waiting = {getter} if eof is None else {getter, eof}
+                done, _ = await asyncio.wait(
+                    waiting, return_when=asyncio.FIRST_COMPLETED
+                )
+                if getter not in done:
+                    getter.cancel()
+                    self.service.cancel(ticket, reason="client disconnected")
+                    return
+                event = getter.result()
+                if isinstance(event, RequestSummary):
+                    ticket.summary = event
+                    break
+                await self._write_chunk(writer, event.as_dict())
+            await self._write_chunk(writer, ticket.summary.as_dict())
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self.service.cancel(ticket, reason="client disconnected")
+            raise
+        finally:
+            if eof is not None:
+                eof.cancel()
+                if eof.done() and not eof.cancelled():
+                    eof.exception()  # consume a ConnectionResetError, if any
 
     @staticmethod
     async def _write_chunk(writer, document: dict) -> None:
@@ -189,13 +264,19 @@ class ServeServer:
         await writer.drain()
 
     @staticmethod
-    async def _respond(writer, status: int, document: dict) -> None:
+    async def _respond(
+        writer, status: int, document: dict, headers: "dict[str, str] | None" = None
+    ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 429: "Too Many Requests", 503: "Service Unavailable"}.get(status, "Error")
         data = json.dumps(document).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n".encode("latin-1")
             + data
         )
@@ -240,7 +321,65 @@ def build_parser() -> argparse.ArgumentParser:
             "chunks are persisted per stream writer and restored on restart"
         ),
     )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help=(
+            "run generation in supervised child worker processes: crashes "
+            "and hangs are detected, the worker restarts, and the in-flight "
+            "window is resubmitted deterministically"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override per call)",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=2,
+        help="failed warmup/advance retries before a request group fails",
+    )
+    parser.add_argument(
+        "--advance-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "supervised only: wall-clock budget per generation batch; a "
+            "worker exceeding it is treated as hung and restarted"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="supervised only: worker restarts tolerated per batch",
+    )
     return parser
+
+
+def service_from_args(args, registry) -> GenerationService:
+    """Construct the :class:`GenerationService` a parsed CLI asks for."""
+    worker_config = None
+    if args.supervised:
+        worker_config = WorkerConfig(
+            advance_timeout=args.advance_timeout,
+            max_restarts=args.max_restarts,
+        )
+    return GenerationService(
+        registry=registry,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        library_root=args.library,
+        supervised=args.supervised,
+        worker_config=worker_config,
+        deadline_seconds=args.deadline,
+        retry_budget=args.retry_budget,
+    )
 
 
 async def _serve_until_interrupted(server: ServeServer) -> None:
@@ -268,12 +407,7 @@ def main(argv: "list[str] | None" = None) -> int:
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    service = GenerationService(
-        registry=registry,
-        max_pending=args.max_pending,
-        max_batch=args.max_batch,
-        library_root=args.library,
-    )
+    service = service_from_args(args, registry)
     server = ServeServer(service, host=args.host, port=args.port)
     try:
         asyncio.run(_serve_until_interrupted(server))

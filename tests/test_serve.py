@@ -15,6 +15,8 @@ post-training RNG state, exactly as the CLI's warmup would leave it.
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 from types import SimpleNamespace
 
 import numpy as np
@@ -34,6 +36,7 @@ from repro.serve import (
     ServeServer,
     ServiceBusyError,
     ServiceClosedError,
+    WorkerConfig,
     pattern_from_json,
     pattern_to_json,
     stream_key,
@@ -586,3 +589,327 @@ def test_serve_metrics_snapshot_has_library_counters():
     assert snapshot["library_restored_samples"] == 5
     assert snapshot["library_persisted_chunks"] == 2
     assert snapshot["library_persisted_patterns"] == 5
+
+
+# --------------------------------------------------------------------------- #
+# fault tolerance (PR 10): supervision, deadlines, cancellation, degradation
+# --------------------------------------------------------------------------- #
+def test_supervised_service_parity(serve_env):
+    """Child-process workers, no faults: same bits, no restarts."""
+
+    async def scenario():
+        service = _service(
+            serve_env,
+            supervised=True,
+            max_batch=7,
+            worker_config=WorkerConfig(heartbeat_interval=0.05, restart_backoff=0.01),
+        )
+        ticket_a = service.submit(GenerateRequest(scenario="serve-test", count=10))
+        ticket_b = service.submit(GenerateRequest(scenario="serve-test", count=8))
+        await service.start()
+        windows = await asyncio.gather(ticket_a.collect(), ticket_b.collect())
+        snapshot = service.metrics.snapshot()
+        await service.stop()
+        return windows, snapshot
+
+    windows, snapshot = asyncio.run(scenario())
+    assert all(window.ok for window in windows)
+    _assert_same_patterns(_in_source_order(windows), serve_env.reference.patterns)
+    assert snapshot["worker_restarts"] == 0
+    assert snapshot["batch_occupancy_mean"] > 1.0
+
+
+def test_deadline_exceeded_cancels_cleanly(serve_env):
+    async def scenario():
+        # Worker deliberately not started: the deadlines fire while queued.
+        service = _service(serve_env, deadline_seconds=10.0)
+        explicit = service.submit(
+            GenerateRequest(scenario="serve-test", count=2, deadline=0.02)
+        )
+        window = await explicit.collect()
+        pending_after = service.pending
+        snapshot = service.metrics.snapshot()
+        await service.start()
+        await service.stop()
+        return window, pending_after, snapshot
+
+    window, pending_after, snapshot = asyncio.run(scenario())
+    assert not window.ok
+    assert window.summary.error_code == "deadline_exceeded"
+    assert "deadline" in window.summary.error
+    # the batch slot is released the moment the deadline fires
+    assert pending_after == 0
+    assert snapshot["requests_cancelled"] == 1
+    assert snapshot["deadline_exceeded"] == 1
+
+
+def test_submit_during_shutdown_gets_typed_error(serve_env):
+    """The admission/shutdown race, both interleavings.
+
+    A request admitted *before* ``stop()`` begins receives the typed
+    ``service_stopped`` summary; a submit arriving *while* ``stop()`` is in
+    flight is refused outright with :class:`ServiceClosedError`.
+    """
+
+    async def scenario():
+        service = _service(serve_env)
+        await service.start()
+        admitted = service.submit(GenerateRequest(scenario="serve-test", count=4))
+        stop_task = asyncio.get_running_loop().create_task(service.stop())
+        # stop() has set the stopping flag but has not finished draining
+        await asyncio.sleep(0)
+        assert service.stopping
+        with pytest.raises(ServiceClosedError):
+            service.submit(GenerateRequest(scenario="serve-test", count=1))
+        await stop_task
+        return await admitted.collect()
+
+    window = asyncio.run(scenario())
+    assert not window.ok
+    assert window.summary.error_code == "service_stopped"
+    assert "stopped" in window.summary.error
+
+
+def test_mid_stream_disconnect_cancels_and_releases_slot(serve_env):
+    """A client hanging up mid-stream must not leak its batch slot."""
+
+    async def scenario():
+        service = _service(serve_env, max_batch=1, max_pending=1)
+        server = ServeServer(service, port=0)
+        await server.start()
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        body = json.dumps({"scenario": "serve-test", "count": 18}).encode()
+        writer.write(
+            b"POST /generate HTTP/1.1\r\nHost: t\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        status = int((await reader.readline()).decode().split()[1])
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        await reader.readline()  # first streamed bytes: generation underway
+        writer.close()  # hang up mid-stream
+
+        for _ in range(400):
+            if service.pending == 0:
+                break
+            await asyncio.sleep(0.01)
+        pending = service.pending
+        snapshot = service.metrics.snapshot()
+
+        # the slot is free and the cache is intact: the next request is
+        # admitted and the already-generated prefix replays from cache
+        follow_up = service.submit(
+            GenerateRequest(scenario="serve-test", count=1, start=0)
+        )
+        window = await follow_up.collect()
+        await server.stop()
+        return status, pending, snapshot, window
+
+    status, pending, snapshot, window = asyncio.run(scenario())
+    assert status == 200
+    assert pending == 0
+    assert snapshot["requests_cancelled"] == 1
+    assert snapshot["queue_depth"] == 0
+    assert window.ok
+    assert window.summary.cached_samples == 1
+
+
+def test_healthz_split_liveness_vs_readiness(serve_env):
+    async def scenario():
+        service = _service(serve_env)
+        server = ServeServer(service, port=0)
+        await server.start()
+        client = ServeClient(port=server.port)
+        health = await client.healthz()
+        live = await client.get_json("/healthz/live")
+        ready = await client.get_json("/healthz/ready")
+        # once stopping, readiness flips to 503 while liveness stays 200
+        await service.stop()
+        live_while_stopping = await client.get_json("/healthz/live")
+        with pytest.raises(ServeHTTPError) as not_ready:
+            await client.get_json("/healthz/ready")
+        await server.stop()
+        return health, live, ready, live_while_stopping, not_ready.value
+
+    health, live, ready, live_while_stopping, not_ready = asyncio.run(scenario())
+    assert health["status"] == "ok"
+    assert health["live"] is True
+    assert health["ready"] is True
+    assert health["worker_restarts"] == 0
+    assert live == {"live": True}
+    assert ready["ready"] is True
+    assert live_while_stopping == {"live": True}
+    assert not_ready.status == 503
+
+
+def test_http_429_carries_retry_after(serve_env):
+    async def scenario():
+        service = _service(serve_env, max_pending=1)
+        server = ServeServer(service, port=0)
+        service.submit(GenerateRequest(scenario="serve-test", count=1))
+        server._server = await asyncio.start_server(server._handle, server.host, 0)
+        server.port = server._server.sockets[0].getsockname()[1]
+        client = ServeClient(port=server.port)
+        with pytest.raises(ServeHTTPError) as rejected:
+            await client.generate(GenerateRequest(scenario="serve-test", count=1))
+        await server.stop()
+        return rejected.value
+
+    rejected = asyncio.run(scenario())
+    assert rejected.status == 429
+    assert rejected.retry_after is not None
+    assert rejected.retry_after >= 1.0
+
+
+def test_client_retries_transient_statuses():
+    """429 then 503 then 200: an opted-in client retries through both."""
+
+    responses = [
+        (429, b'{"error": "busy"}', b"Retry-After: 0\r\n"),
+        (503, b'{"error": "degraded"}', b"Retry-After: 0\r\n"),
+        (200, b'{"ok": true}', b""),
+    ]
+    calls = []
+
+    async def handle(reader, writer):
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        status, body, extra = responses[min(len(calls), len(responses) - 1)]
+        calls.append(status)
+        writer.write(
+            f"HTTP/1.1 {status} X\r\n".encode()
+            + b"Content-Type: application/json\r\n"
+            + extra
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        # fail-fast default: the 429 surfaces, with its Retry-After parsed
+        with pytest.raises(ServeHTTPError) as fail_fast:
+            await ServeClient(port=port).get_json("/healthz")
+        calls.clear()
+        client = ServeClient(
+            port=port, max_retries=3, backoff_base=0.001, rng=random.Random(0)
+        )
+        result = await client.get_json("/healthz")
+        server.close()
+        await server.wait_closed()
+        return fail_fast.value, result
+
+    fail_fast, result = asyncio.run(scenario())
+    assert fail_fast.status == 429
+    assert fail_fast.retry_after == 0.0
+    assert result == {"ok": True}
+    assert calls == [429, 503, 200]
+
+
+def test_client_does_not_retry_logic_errors():
+    """A 400 is never transient: one call, one failure, regardless of budget."""
+    calls = []
+
+    async def handle(reader, writer):
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        calls.append(400)
+        body = b'{"error": "bad request"}'
+        writer.write(
+            b"HTTP/1.1 400 Bad Request\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = ServeClient(port=port, max_retries=5, backoff_base=0.001)
+        with pytest.raises(ServeHTTPError) as error:
+            await client.get_json("/healthz")
+        server.close()
+        await server.wait_closed()
+        return error.value
+
+    assert asyncio.run(scenario()).status == 400
+    assert calls == [400]
+
+
+def test_service_from_args_wires_the_failure_knobs(serve_env):
+    from repro.serve.server import build_parser, service_from_args
+
+    args = build_parser().parse_args(
+        [
+            "--supervised",
+            "--deadline", "5",
+            "--retry-budget", "1",
+            "--advance-timeout", "3",
+            "--max-restarts", "4",
+        ]
+    )
+    service = service_from_args(args, serve_env.registry)
+    assert service.supervised is True
+    assert service.deadline_seconds == 5.0
+    assert service.retry_budget == 1
+    assert service.worker_config.advance_timeout == 3.0
+    assert service.worker_config.max_restarts == 4
+
+    plain = service_from_args(build_parser().parse_args([]), serve_env.registry)
+    assert plain.supervised is False
+    assert plain.worker_config is None
+
+
+def test_metrics_snapshot_has_failure_counters():
+    metrics = ServeMetrics()
+    metrics.record_cancelled()
+    metrics.record_cancelled(deadline=True)
+    metrics.record_generation_failure()
+    metrics.record_generation_retry()
+    metrics.record_worker_restart()
+    metrics.record_breaker_state(True, tripped=True)
+    snapshot = metrics.snapshot()
+    assert snapshot["requests_cancelled"] == 2
+    assert snapshot["deadline_exceeded"] == 1
+    assert snapshot["generation_failures"] == 1
+    assert snapshot["generation_retries"] == 1
+    assert snapshot["worker_restarts"] == 1
+    assert snapshot["breaker_trips"] == 1
+    assert snapshot["breaker_open"] is True
+    metrics.record_breaker_state(False)
+    assert metrics.snapshot()["breaker_open"] is False
+    assert metrics.snapshot()["breaker_trips"] == 1
+
+
+def test_deadline_request_round_trips_and_validates():
+    request = GenerateRequest.from_dict(
+        {"scenario": "smoke", "count": 2, "deadline": 1.5}
+    )
+    assert request.deadline == 1.5
+    assert GenerateRequest.from_dict(request.as_dict()) == request
+    for bad in (
+        {"scenario": "smoke", "deadline": 0},
+        {"scenario": "smoke", "deadline": -1.0},
+        {"scenario": "smoke", "deadline": True},
+        {"scenario": "smoke", "deadline": "soon"},
+    ):
+        with pytest.raises(ProtocolError):
+            GenerateRequest.from_dict(bad)
+
+
+def test_summary_error_code_round_trips():
+    summary = RequestSummary(
+        ok=False, scenario="s", start=0, end=4,
+        error="deadline of 2s exceeded", error_code="deadline_exceeded",
+    )
+    payload = summary.as_dict()
+    assert payload["error_code"] == "deadline_exceeded"
+    assert RequestSummary.from_dict(payload) == summary
+    ok_payload = RequestSummary(ok=True, scenario="s", start=0, end=4).as_dict()
+    assert "error_code" not in ok_payload
